@@ -1,0 +1,219 @@
+//! Criterion micro-benchmarks for the paper's §4 overhead claims:
+//!
+//! - MittNoop admission is O(1) (`T_nextFree` check);
+//! - MittCFQ prediction is O(P) in active processes, <5 µs even with
+//!   many IO-intensive tenants (§4.2);
+//! - MittSSD prediction is ~hundreds of ns per IO (§4.3's 300 ns);
+//! - `addrcheck()` is a cheap page-table walk (§4.4's 82 ns);
+//! - scheduler and device model operation costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mitt_device::{BlockIo, Disk, DiskSpec, IoClass, IoIdGen, ProcessId, SsdSpec};
+use mitt_oscache::{PageCache, PageCacheConfig};
+use mitt_sched::{Cfq, CfqConfig, DiskScheduler};
+use mitt_sim::{Duration, SimRng, SimTime};
+use mittos::{DiskProfile, MittCfq, MittNoop, MittSsd, SsdProfile, DEFAULT_HOP};
+
+fn io(ids: &mut IoIdGen, offset: u64, pid: u32) -> BlockIo {
+    BlockIo::read(ids.next_id(), offset, 4096, ProcessId(pid), SimTime::ZERO)
+        .with_deadline(Duration::from_millis(20))
+}
+
+fn bench_mittnoop_admit(c: &mut Criterion) {
+    let profile = DiskProfile::from_spec(&DiskSpec::default());
+    c.bench_function("mittnoop_admit", |b| {
+        let mut mitt = MittNoop::new(profile, DEFAULT_HOP);
+        let mut ids = IoIdGen::new();
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset = (offset + 7_777_777_777) % (900 * mitt_device::GB);
+            let io = io(&mut ids, offset, 1);
+            let d = mitt.admit(black_box(&io), SimTime::ZERO);
+            mitt.on_complete(io.id, Duration::from_millis(5));
+            black_box(d)
+        });
+    });
+}
+
+fn bench_mittcfq_predict_scaling(c: &mut Criterion) {
+    // The paper's claim: O(P) in processes with pending IOs, <5us per
+    // prediction even with 128 IO-intensive tenants.
+    let mut group = c.benchmark_group("mittcfq_predict");
+    for processes in [1u32, 16, 128] {
+        group.bench_function(format!("{processes}_processes"), |b| {
+            let profile = DiskProfile::from_spec(&DiskSpec::default());
+            let mut mitt = MittCfq::new(profile, DEFAULT_HOP);
+            let mut ids = IoIdGen::new();
+            // Populate pending IOs across P processes.
+            for i in 0..(processes * 4) {
+                let io = BlockIo::read(
+                    ids.next_id(),
+                    u64::from(i) * 1_000_000,
+                    4096,
+                    ProcessId(i % processes),
+                    SimTime::ZERO,
+                );
+                mitt.account(&io, SimTime::ZERO);
+            }
+            b.iter(|| {
+                black_box(mitt.predicted_wait(IoClass::BestEffort, 4, ProcessId(0), SimTime::ZERO))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mittssd_admit(c: &mut Criterion) {
+    let spec = SsdSpec::default();
+    let profile = SsdProfile::from_spec(&spec);
+    c.bench_function("mittssd_admit", |b| {
+        let mut mitt = MittSsd::new(&spec, profile.clone(), DEFAULT_HOP);
+        let mut ids = IoIdGen::new();
+        let mut lpn = 0u64;
+        b.iter(|| {
+            lpn = (lpn + 1) % 100_000;
+            let io = BlockIo::read(
+                ids.next_id(),
+                lpn * u64::from(spec.page_size),
+                4096,
+                ProcessId(1),
+                SimTime::ZERO,
+            )
+            .with_deadline(Duration::from_millis(100));
+            let d = mitt.admit(black_box(&io), SimTime::ZERO);
+            mitt.on_complete_sub(io.id, 0, spec.read_page, spec.chip_of_page(lpn));
+            black_box(d)
+        });
+    });
+}
+
+fn bench_addrcheck(c: &mut Criterion) {
+    let mut cache = PageCache::new(PageCacheConfig::default());
+    for i in 0..10_000u64 {
+        cache.insert_range(i * 4096, 4096);
+    }
+    c.bench_function("addrcheck_4k", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 4096) % (10_000 * 4096);
+            black_box(cache.addrcheck(black_box(off), 4096))
+        });
+    });
+}
+
+fn bench_cfq_enqueue_dispatch(c: &mut Criterion) {
+    c.bench_function("cfq_enqueue_complete_cycle", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Cfq::new(CfqConfig::default()),
+                    Disk::new(DiskSpec::default(), SimRng::new(1)),
+                    IoIdGen::new(),
+                )
+            },
+            |(mut sched, mut disk, mut ids)| {
+                let mut tick = None;
+                for i in 0..32u64 {
+                    let io = BlockIo::read(
+                        ids.next_id(),
+                        i * 10_000_000,
+                        4096,
+                        ProcessId((i % 4) as u32),
+                        SimTime::ZERO,
+                    );
+                    let out = sched.enqueue(io, &mut disk, SimTime::ZERO);
+                    tick = tick.or(out.started);
+                }
+                let mut t = tick.expect("device started");
+                for _ in 0..32 {
+                    let (_, out) = sched.on_complete(&mut disk, t.done_at);
+                    match out.started {
+                        Some(next) => t = next,
+                        None => break,
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_disk_service_model(c: &mut Criterion) {
+    let spec = DiskSpec::default();
+    c.bench_function("disk_expected_service", |b| {
+        let mut from = 0u64;
+        b.iter(|| {
+            from = (from + 31 * mitt_device::GB) % (900 * mitt_device::GB);
+            black_box(spec.expected_service(black_box(from), 500 * mitt_device::GB, 4096))
+        });
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    use mitt_sim::dist::Zipfian;
+    let z = Zipfian::new(10_000_000, 0.99);
+    let mut rng = SimRng::new(1);
+    c.bench_function("zipfian_sample", |b| {
+        b.iter(|| black_box(z.sample_index(&mut rng)));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use mitt_sim::EventQueue;
+    c.bench_function("event_queue_schedule_pop", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..256u32 {
+                    q.schedule(
+                        SimTime::from_nanos(u64::from(i.wrapping_mul(2654435761))),
+                        i,
+                    );
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_lsm_get_plan(c: &mut Criterion) {
+    use mitt_lsm::{LsmConfig, LsmEngine};
+    let mut engine = LsmEngine::preloaded(LsmConfig::default());
+    let mut key = 0u64;
+    c.bench_function("lsm_get_plan", |b| {
+        b.iter(|| {
+            key = (key + 7919) % 1_000_000;
+            black_box(engine.get_plan(black_box(key)))
+        });
+    });
+}
+
+fn bench_btree_touches(c: &mut Criterion) {
+    use mitt_cluster::{BtreeConfig, BtreePlanner};
+    let planner = BtreePlanner::new(BtreeConfig::default(), 10_000_000);
+    let mut key = 0u64;
+    c.bench_function("btree_touches", |b| {
+        b.iter(|| {
+            key = (key + 104729) % 10_000_000;
+            black_box(planner.touches(black_box(key)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mittnoop_admit,
+    bench_mittcfq_predict_scaling,
+    bench_mittssd_admit,
+    bench_addrcheck,
+    bench_cfq_enqueue_dispatch,
+    bench_disk_service_model,
+    bench_zipfian,
+    bench_event_queue,
+    bench_lsm_get_plan,
+    bench_btree_touches
+);
+criterion_main!(benches);

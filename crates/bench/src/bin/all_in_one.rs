@@ -1,0 +1,113 @@
+//! §7.8.5 "All in one": MittCFQ + MittSSD + MittCache enabled on one
+//! deployment, three user classes with three deadlines (20 ms / 2 ms /
+//! 0.1 ms), three noises injected simultaneously on the replica nodes.
+//!
+//! Every node carries all three stacks (disk + SSD + page cache); each
+//! user class routes to its medium while all three noise streams run, so
+//! the three predictors co-exist on the same nodes.
+
+use mitt_bench::{ops_from_env, print_percentiles, steady_noise_on};
+use mitt_cluster::{
+    run_experiment, ExperimentConfig, Medium, NodeConfig, NoiseKind, NoiseStream, Strategy,
+};
+use mitt_device::IoClass;
+use mitt_sim::{Duration, LatencyRecorder, SimTime};
+
+fn noises(horizon: Duration) -> Vec<NoiseStream> {
+    let mut swap = steady_noise_on(3, 0, NoiseKind::CacheSwap, 20, horizon);
+    swap.schedules[0] = (0..(horizon.as_nanos() / 2_000_000_000).max(1))
+        .map(|i| mitt_workload::NoiseBurst {
+            start: SimTime::ZERO + Duration::from_secs(2) * i,
+            duration: Duration::from_millis(1),
+            intensity: 20,
+        })
+        .collect();
+    // The same injectors as the §7.1 microbenchmarks (Fig 4a/4c/4d);
+    // disk noise in ~20%-duty bursts as in fig4a.
+    let mut disk_noise = steady_noise_on(
+        3,
+        0,
+        NoiseKind::DiskReads {
+            len: 4096,
+            class: IoClass::BestEffort,
+            priority: 7,
+        },
+        6,
+        horizon,
+    );
+    disk_noise.schedules[0] = (0..(horizon.as_nanos() / 2_500_000_000).max(1))
+        .map(|i| mitt_workload::NoiseBurst {
+            start: SimTime::ZERO + Duration::from_millis(2500) * i,
+            duration: Duration::from_millis(500),
+            intensity: 6,
+        })
+        .collect();
+    vec![
+        disk_noise,
+        steady_noise_on(3, 0, NoiseKind::SsdWrites { len: 256 << 10 }, 8, horizon),
+        swap,
+    ]
+}
+
+fn run(
+    medium: Medium,
+    via_cache: bool,
+    strategy: Strategy,
+    with_noise: bool,
+    ops: usize,
+    seed: u64,
+) -> LatencyRecorder {
+    let mut cfg = ExperimentConfig::micro(NodeConfig::tiered(), strategy);
+    cfg.seed = seed;
+    cfg.clients = 3;
+    cfg.ops_per_client = ops;
+    cfg.medium = medium;
+    cfg.via_cache = via_cache;
+    cfg.preload_cache = via_cache;
+    cfg.record_count = 50_000;
+    // Light probing load (see fig4): tails come from the noise.
+    cfg.think_time = Duration::from_millis(40);
+    if with_noise {
+        cfg.noise = noises(Duration::from_secs(3600));
+    }
+    run_experiment(cfg).get_latencies
+}
+
+fn main() {
+    let ops = ops_from_env(400);
+    println!("# All-in-one (§7.8.5): three user classes, three deadlines, three noises");
+    println!("# on the same tiered nodes (disk + SSD flash tier + OS cache).");
+
+    let classes: [(&str, Medium, bool, Duration); 3] = [
+        ("disk-user", Medium::Disk, false, Duration::from_millis(20)),
+        ("ssd-user", Medium::Ssd, false, Duration::from_millis(2)),
+        ("cache-user", Medium::Disk, true, Duration::from_micros(100)),
+    ];
+    for (i, (name, medium, via_cache, deadline)) in classes.into_iter().enumerate() {
+        let seed = 140 + i as u64;
+        let mut series = vec![
+            (
+                "NoNoise",
+                run(medium, via_cache, Strategy::Base, false, ops, seed),
+            ),
+            (
+                "MittOS",
+                run(
+                    medium,
+                    via_cache,
+                    Strategy::MittOs { deadline },
+                    true,
+                    ops,
+                    seed,
+                ),
+            ),
+            (
+                "Base",
+                run(medium, via_cache, Strategy::Base, true, ops, seed),
+            ),
+        ];
+        print_percentiles(&format!("{name} (deadline {deadline})"), &mut series);
+    }
+    println!("\n# Expected shape: per class, MittOS tracks NoNoise while Base absorbs its");
+    println!("# noise — the §7.1 microbenchmark results, co-existing in one deployment.");
+}

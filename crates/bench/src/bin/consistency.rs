@@ -1,0 +1,80 @@
+//! §8.3: "Can MittOS' fast replica switching cause inconsistencies?"
+//!
+//! With asynchronous replication, every failover is a chance to read a
+//! replica that has not applied the session's latest write. The paper's
+//! answer: a MittOS-powered store "can be made more conservative about
+//! switching replicas that may lead to inconsistencies (e.g., do not
+//! failover until the other replicas are no longer stale)."
+//!
+//! This experiment runs a read-mostly session workload (10% writes) with a
+//! 25 ms replication lag under rotating contention and compares MittOS
+//! with and without the monotonic-reads guard: the guard walks
+//! already-fresh replicas first during failover, trading a little tail
+//! latency for session consistency.
+
+use mitt_bench::{ops_from_env, print_percentiles};
+use mitt_cluster::{
+    run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
+};
+use mitt_device::IoClass;
+use mitt_sim::Duration;
+use mitt_workload::rotating_schedule;
+
+fn run(strategy: Strategy, guard: bool, ops: usize, seed: u64) -> mitt_cluster::ExperimentResult {
+    let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
+    cfg.seed = seed;
+    cfg.clients = 3;
+    cfg.ops_per_client = ops;
+    cfg.write_fraction = 0.10;
+    // A tight keyspace so sessions re-read what they just wrote.
+    cfg.record_count = 2_000;
+    cfg.replication_lag = Duration::from_millis(25);
+    cfg.monotonic_guard = guard;
+    cfg.initial_replica = InitialReplica::Random;
+    cfg.think_time = Duration::from_millis(5);
+    cfg.noise = vec![NoiseStream {
+        kind: NoiseKind::DiskReads {
+            len: 1 << 20,
+            class: IoClass::BestEffort,
+            priority: 4,
+        },
+        schedules: rotating_schedule(3, Duration::from_secs(1), Duration::from_secs(3600), 4),
+    }];
+    run_experiment(cfg)
+}
+
+fn main() {
+    let ops = ops_from_env(1500);
+    let seed = 83;
+    let deadline = Duration::from_millis(15);
+
+    println!("# Consistency under fast failover (§8.3): 10% writes, 25ms replication lag,");
+    println!("# rotating contention, 3 replicas.");
+    println!(
+        "\n{:>18} | {:>11} {:>9} {:>9}",
+        "variant", "stale reads", "EBUSYs", "errors"
+    );
+    let base = run(Strategy::Base, false, ops, seed);
+    let plain = run(Strategy::MittOs { deadline }, false, ops, seed);
+    let guarded = run(Strategy::MittOs { deadline }, true, ops, seed);
+    for (name, res) in [
+        ("Base (no failover)", &base),
+        ("MittOS", &plain),
+        ("MittOS+guard", &guarded),
+    ] {
+        println!(
+            "{:>18} | {:>11} {:>9} {:>9}",
+            name, res.stale_reads, res.ebusy, res.errors
+        );
+    }
+    let mut series = vec![
+        ("Mitt+guard", guarded.get_latencies.clone()),
+        ("MittOS", plain.get_latencies.clone()),
+        ("Base", base.get_latencies.clone()),
+    ];
+    print_percentiles("Latency cost of the guard", &mut series);
+    println!("\n# Expected shape: fast switching inflates stale session reads over Base's");
+    println!("# intrinsic random-pick staleness; the monotonic guard removes the");
+    println!("# switching-induced excess (back to Base's level) at negligible latency");
+    println!("# cost — both MittOS variants stay far below Base's tail.");
+}

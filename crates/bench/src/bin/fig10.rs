@@ -1,0 +1,56 @@
+//! Figure 10: tail sensitivity to prediction error — false-negative and
+//! false-positive injection at 20/60/100% on the Figure 5 setup.
+
+use mitt_bench::{fig5_config, measure_p95, ops_from_env, print_cdf};
+use mitt_cluster::{run_experiment, Strategy};
+use mitt_sim::LatencyRecorder;
+
+fn main() {
+    let ops = ops_from_env(500);
+    let seed = 10;
+    let p95 = measure_p95(fig5_config(Strategy::Base, ops, seed));
+    println!(
+        "# Fig 10 setup: as Fig 5 with MittCFQ; measured Base p95 = {:.2}ms",
+        p95.as_millis_f64()
+    );
+
+    let run_with = |inject: Option<(f64, f64)>, strategy: Strategy| -> LatencyRecorder {
+        let mut cfg = fig5_config(strategy, ops, seed);
+        cfg.node_cfg.inject = inject;
+        run_experiment(cfg).get_latencies
+    };
+
+    let base = run_with(None, Strategy::Base);
+    let no_error = run_with(None, Strategy::MittOs { deadline: p95 });
+
+    // (a) False negatives: EBUSY suppressed at rate E.
+    let mut series_a = vec![("NoError", no_error.clone())];
+    for e in [0.2, 0.6, 1.0] {
+        let rec = run_with(Some((e, 0.0)), Strategy::MittOs { deadline: p95 });
+        let label: &'static str = match (e * 100.0) as u32 {
+            20 => "FN 20%",
+            60 => "FN 60%",
+            _ => "FN 100%",
+        };
+        series_a.push((label, rec));
+    }
+    series_a.push(("Base", base.clone()));
+    print_cdf("Fig 10a: false-negative injection", &mut series_a, 41);
+
+    // (b) False positives: spurious EBUSY at rate E.
+    let mut series_b = vec![("NoError", no_error)];
+    for e in [0.2, 0.6, 1.0] {
+        let rec = run_with(Some((0.0, e)), Strategy::MittOs { deadline: p95 });
+        let label: &'static str = match (e * 100.0) as u32 {
+            20 => "FP 20%",
+            60 => "FP 60%",
+            _ => "FP 100%",
+        };
+        series_b.push((label, rec));
+    }
+    series_b.push(("Base", base));
+    print_cdf("Fig 10b: false-positive injection", &mut series_b, 41);
+
+    println!("\n# Expected shape: FN 100% degenerates to Base (errors only hurt slow IOs);");
+    println!("# FP injection is worse — at 100% every IO bounces and the tail exceeds Base.");
+}

@@ -1,0 +1,55 @@
+//! Figure 5: MittCFQ vs Base / application timeout / cloning / hedged
+//! requests on a 20-node cluster with EC2-style disk noise.
+//!
+//! The deadline, timeout and hedge threshold are all set to the measured
+//! p95 of the Base run (§7.2's "13ms" convention).
+
+use mitt_bench::{
+    fig5_config, measure_p95, ops_from_env, print_cdf, print_percentiles, print_reductions,
+};
+use mitt_cluster::{run_experiment, Strategy};
+
+fn main() {
+    let ops = ops_from_env(800);
+    let seed = 5;
+
+    // Measure the p95 under Base; it becomes every strategy's threshold.
+    let p95 = measure_p95(fig5_config(Strategy::Base, ops, seed));
+    println!("# Fig 5 setup: 20-node MongoDB-like cluster, EC2 disk noise.");
+    println!(
+        "# measured Base p95 = {:.2}ms (deadline/timeout/hedge threshold)",
+        p95.as_millis_f64()
+    );
+
+    let strategies = [
+        Strategy::MittOs { deadline: p95 },
+        Strategy::Hedged { after: p95 },
+        Strategy::Clone2,
+        Strategy::AppTimeout { timeout: p95 },
+        Strategy::Base,
+    ];
+    let mut series = Vec::new();
+    for s in strategies {
+        let name = s.name();
+        let res = run_experiment(fig5_config(s, ops, seed));
+        eprintln!(
+            "ran {name}: ops={} ebusy={} retries={} errors={}",
+            res.ops, res.ebusy, res.retries, res.errors
+        );
+        series.push((name, res.get_latencies));
+    }
+    print_percentiles("Fig 5a: YCSB get() latencies, 20-node cluster", &mut series);
+    print_cdf("Fig 5a: latency CDF", &mut series, 41);
+
+    let mut ours = series.remove(0).1;
+    let mut others: Vec<_> = series.into_iter().filter(|(n, _)| *n != "Base").collect();
+    print_reductions(
+        "Fig 5b: % latency reduction of MittCFQ",
+        "MittCFQ",
+        &mut ours,
+        &mut others,
+    );
+    println!("\n# Expected shape: MittOS < Hedged < Clone < AppTO < Base above ~p95;");
+    println!("# Clone worse than Base below ~p93 (self-inflicted load);");
+    println!("# reductions grow with percentile (paper: 23-47% at p95).");
+}

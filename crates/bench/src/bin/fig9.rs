@@ -1,0 +1,68 @@
+//! Figure 9: prediction inaccuracy of MittCFQ and MittSSD over five
+//! production-trace classes, replayed single-node in audit mode with the
+//! p95 wait as the deadline.
+
+use mitt_bench::{classify, p95_wait, replay_audit_with_ablation};
+use mitt_cluster::{Medium, NodeConfig};
+use mitt_sim::{Duration, SimRng};
+use mitt_workload::TraceSpec;
+
+fn main() {
+    let horizon = Duration::from_secs(
+        std::env::var("MITT_OPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120),
+    );
+    println!("# Fig 9: prediction inaccuracy (audit mode, p95 deadline, {horizon} of trace)");
+    println!("# 'naive' columns = the ablation of §7.6: no seek model, no calibration,");
+    println!("# block-level SSD accounting.");
+    println!(
+        "\n{:>8} | {:>8} {:>8} {:>8} {:>10} | {:>8} {:>8} {:>8} {:>10}",
+        "trace",
+        "cfq FP%",
+        "cfq FN%",
+        "diff ms",
+        "naive F%",
+        "ssd FP%",
+        "ssd FN%",
+        "diff ms",
+        "naive F%"
+    );
+    for spec in TraceSpec::all_five() {
+        let mut rng = SimRng::new(91);
+        let disk_trace = spec.generate(horizon, &mut rng);
+        let (pairs, naive) =
+            replay_audit_with_ablation(NodeConfig::disk_cfq(), Medium::Disk, &disk_trace, 1.0, 92);
+        let deadline = p95_wait(&pairs);
+        let disk_stats = classify(&pairs, deadline, mittos::DEFAULT_HOP);
+        let disk_naive = classify(&naive, deadline, mittos::DEFAULT_HOP);
+
+        // SSD: the paper re-rates the disk traces 128x more intensive for
+        // the 128 chips; we compress arrivals accordingly (bounded so the
+        // replay stays tractable).
+        let mut rng = SimRng::new(93);
+        let ssd_trace = spec.generate(horizon, &mut rng);
+        let (pairs, naive) =
+            replay_audit_with_ablation(NodeConfig::ssd(), Medium::Ssd, &ssd_trace, 64.0, 94);
+        let deadline = p95_wait(&pairs);
+        let ssd_stats = classify(&pairs, deadline, mittos::DEFAULT_HOP);
+        let ssd_naive = classify(&naive, deadline, mittos::DEFAULT_HOP);
+
+        println!(
+            "{:>8} | {:>8.2} {:>8.2} {:>8.2} {:>10.2} | {:>8.2} {:>8.2} {:>8.2} {:>10.2}",
+            spec.name,
+            disk_stats.fp_pct,
+            disk_stats.fn_pct,
+            disk_stats.mean_diff_ms,
+            disk_naive.inaccuracy_pct(),
+            ssd_stats.fp_pct,
+            ssd_stats.fn_pct,
+            ssd_stats.mean_diff_ms,
+            ssd_naive.inaccuracy_pct(),
+        );
+    }
+    println!("\n# Expected shape: total inaccuracy ~1% or less per trace (paper: 0.5-0.9%");
+    println!("# for MittCFQ, <=0.8% for MittSSD); diffs small (<3ms disk, <1ms SSD);");
+    println!("# the naive ablation is far worse (paper: up to 47% disk, 6% SSD).");
+}

@@ -1,0 +1,128 @@
+//! Text rendering of the paper's tables and figure series.
+//!
+//! Every bench binary prints the same rows/series the paper plots: CDF
+//! points for latency figures, percentile tables, and the
+//! percentage-latency-reduction bars of Figures 5b/6d/7b/8b.
+
+use mitt_sim::{reduction_pct, Duration, LatencyRecorder};
+
+/// Percentiles the paper's bar charts report.
+pub const BAR_PERCENTILES: [(&str, f64); 5] = [
+    ("Avg", -1.0),
+    ("p75", 75.0),
+    ("p90", 90.0),
+    ("p95", 95.0),
+    ("p99", 99.0),
+];
+
+/// Value at a named bar position (`Avg` or a percentile).
+pub fn bar_value(rec: &mut LatencyRecorder, p: f64) -> Duration {
+    if p < 0.0 {
+        rec.mean()
+    } else {
+        rec.percentile(p)
+    }
+}
+
+/// Prints a latency CDF as `probability  <series_1_ms> <series_2_ms> ...`
+/// rows — the series of the paper's CDF figures.
+pub fn print_cdf(title: &str, series: &mut [(&str, LatencyRecorder)], points: usize) {
+    println!("\n## {title}");
+    print!("{:>8}", "cum.prob");
+    for (name, _) in series.iter() {
+        print!(" {name:>12}");
+    }
+    println!("   (latency, ms)");
+    let cdfs: Vec<Vec<(Duration, f64)>> = series.iter_mut().map(|(_, r)| r.cdf(points)).collect();
+    for i in 0..points {
+        let q = cdfs[0][i].1;
+        print!("{q:>8.3}");
+        for cdf in &cdfs {
+            print!(" {:>12.3}", cdf[i].0.as_millis_f64());
+        }
+        println!();
+    }
+}
+
+/// Prints a percentile summary table, one row per series.
+pub fn print_percentiles(title: &str, series: &mut [(&str, LatencyRecorder)]) {
+    println!("\n## {title}");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "series", "avg(ms)", "p50", "p75", "p90", "p95", "p99"
+    );
+    for (name, rec) in series.iter_mut() {
+        println!(
+            "{:>14} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            rec.mean().as_millis_f64(),
+            rec.percentile(50.0).as_millis_f64(),
+            rec.percentile(75.0).as_millis_f64(),
+            rec.percentile(90.0).as_millis_f64(),
+            rec.percentile(95.0).as_millis_f64(),
+            rec.percentile(99.0).as_millis_f64(),
+        );
+    }
+}
+
+/// Prints the paper's "% latency reduction of `ours` vs others" bars at
+/// Avg/p75/p90/p95/p99 (footnote 2's metric).
+pub fn print_reductions(
+    title: &str,
+    ours_name: &str,
+    ours: &mut LatencyRecorder,
+    others: &mut [(&str, LatencyRecorder)],
+) {
+    println!("\n## {title}");
+    print!("{:>8}", "");
+    for (name, _) in others.iter() {
+        print!(" {:>14}", format!("vs {name}"));
+    }
+    println!("   (% latency reduction of {ours_name})");
+    for (label, p) in BAR_PERCENTILES {
+        let mine = bar_value(ours, p);
+        print!("{label:>8}");
+        for (_, other) in others.iter_mut() {
+            let theirs = bar_value(other, p);
+            print!(" {:>14.1}", reduction_pct(theirs, mine));
+        }
+        println!();
+    }
+}
+
+/// Reduction of `ours` vs `other` at a bar position, for tests and
+/// EXPERIMENTS.md extraction.
+pub fn reduction_at(other: &mut LatencyRecorder, ours: &mut LatencyRecorder, p: f64) -> f64 {
+    reduction_pct(bar_value(other, p), bar_value(ours, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(scale: u64) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record(Duration::from_millis(i * scale));
+        }
+        r
+    }
+
+    #[test]
+    fn reduction_at_percentiles() {
+        let mut slow = rec(2);
+        let mut fast = rec(1);
+        assert!((reduction_at(&mut slow, &mut fast, 95.0) - 50.0).abs() < 1e-9);
+        assert!((reduction_at(&mut slow, &mut fast, -1.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        let mut series = vec![("a", rec(1)), ("b", rec(2))];
+        print_cdf("t", &mut series, 11);
+        print_percentiles("t", &mut series);
+        let mut ours = rec(1);
+        let mut others = vec![("b", rec(2))];
+        print_reductions("t", "a", &mut ours, &mut others);
+    }
+}

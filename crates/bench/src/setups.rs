@@ -1,0 +1,151 @@
+//! Shared experiment builders for the figure binaries.
+//!
+//! Each bench binary composes these: EC2-style noise streams (§6),
+//! microbenchmark steady noise (§7.1), and the paper's 20-node cluster
+//! setup with the measured-p95 deadline convention (§7.2: deadline,
+//! timeout and hedge threshold are all the workload's p95 latency).
+
+use mitt_cluster::{
+    run_experiment, ExperimentConfig, NodeConfig, NoiseKind, NoiseStream, Strategy,
+};
+use mitt_device::IoClass;
+use mitt_sim::{Duration, SimRng, SimTime};
+use mitt_workload::{NoiseBurst, NoiseGen};
+
+/// EC2-like disk noise: per-node bursty schedules realized as concurrent
+/// 1 MB reads (each adds ~12 ms of disk delay, the paper's injector
+/// calibration).
+pub fn ec2_disk_noise(nodes: usize, horizon: Duration, seed: u64) -> NoiseStream {
+    let gen = NoiseGen::ec2_disk();
+    let mut rng = SimRng::new(seed ^ 0xD15C);
+    NoiseStream {
+        kind: NoiseKind::DiskReads {
+            len: 1 << 20,
+            class: IoClass::BestEffort,
+            priority: 4,
+        },
+        schedules: (0..nodes)
+            .map(|_| {
+                let mut r = rng.fork();
+                gen.generate(horizon, &mut r)
+            })
+            .collect(),
+    }
+}
+
+/// EC2-like SSD noise: bursts of concurrent 64 KB writes.
+pub fn ec2_ssd_noise(nodes: usize, horizon: Duration, seed: u64) -> NoiseStream {
+    let gen = NoiseGen::ec2_ssd();
+    let mut rng = SimRng::new(seed ^ 0x55D);
+    NoiseStream {
+        kind: NoiseKind::SsdWrites { len: 64 << 10 },
+        schedules: (0..nodes)
+            .map(|_| {
+                let mut r = rng.fork();
+                gen.generate(horizon, &mut r)
+            })
+            .collect(),
+    }
+}
+
+/// EC2-like cache noise: swap-out episodes (intensity = % of pages).
+pub fn ec2_cache_noise(nodes: usize, horizon: Duration, seed: u64) -> NoiseStream {
+    let gen = NoiseGen::ec2_cache();
+    let mut rng = SimRng::new(seed ^ 0xCAC8E);
+    NoiseStream {
+        kind: NoiseKind::CacheSwap,
+        schedules: (0..nodes)
+            .map(|_| {
+                let mut r = rng.fork();
+                gen.generate(horizon, &mut r)
+            })
+            .collect(),
+    }
+}
+
+/// Steady noise on one node for the whole run (the §7.1 microbenchmarks
+/// run the injector continuously on one replica).
+pub fn steady_noise_on(
+    nodes: usize,
+    target: usize,
+    kind: NoiseKind,
+    intensity: u32,
+    horizon: Duration,
+) -> NoiseStream {
+    let mut schedules = vec![Vec::new(); nodes];
+    schedules[target] = vec![NoiseBurst {
+        start: SimTime::ZERO,
+        duration: horizon,
+        intensity,
+    }];
+    NoiseStream { kind, schedules }
+}
+
+/// The Figure 5 skeleton: 20-node disk/CFQ cluster, 20 clients, EC2 disk
+/// noise, random initial replica.
+pub fn fig5_config(strategy: Strategy, ops_per_client: usize, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::cluster20(NodeConfig::disk_cfq(), strategy);
+    cfg.seed = seed;
+    cfg.ops_per_client = ops_per_client;
+    // Pace clients so the run spans many noise bursts at moderate disk
+    // utilization (the paper's YCSB setup is not disk-saturating: its Base
+    // p95 is ~13ms, i.e. tails come from noise, not self-load).
+    cfg.think_time = Duration::from_millis(10);
+    // Enough noise horizon for the longest strategies.
+    cfg.noise = vec![ec2_disk_noise(20, Duration::from_secs(3600), seed)];
+    cfg
+}
+
+/// Runs Base on a config and returns its p95 get() latency — the value
+/// the paper plugs in as deadline, timeout, and hedge threshold (§7.2).
+pub fn measure_p95(mut cfg: ExperimentConfig) -> Duration {
+    cfg.strategy = Strategy::Base;
+    let mut res = run_experiment(cfg);
+    res.get_latencies.percentile(95.0)
+}
+
+/// Benchmark scale from the `MITT_OPS` environment variable (user
+/// requests per client), defaulting to `full`.
+pub fn ops_from_env(full: usize) -> usize {
+    std::env::var("MITT_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_builders_cover_all_nodes() {
+        let horizon = Duration::from_secs(100);
+        for ns in [
+            ec2_disk_noise(5, horizon, 1),
+            ec2_ssd_noise(5, horizon, 1),
+            ec2_cache_noise(5, horizon, 1),
+        ] {
+            assert_eq!(ns.schedules.len(), 5);
+            assert!(ns.schedules.iter().any(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn steady_noise_targets_one_node() {
+        let ns = steady_noise_on(3, 1, NoiseKind::CacheSwap, 20, Duration::from_secs(10));
+        assert!(ns.schedules[0].is_empty());
+        assert_eq!(ns.schedules[1].len(), 1);
+        assert_eq!(ns.schedules[1][0].intensity, 20);
+    }
+
+    #[test]
+    fn measure_p95_returns_disk_scale_latency() {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), Strategy::Base);
+        cfg.ops_per_client = 80;
+        let p95 = measure_p95(cfg);
+        assert!(
+            (Duration::from_millis(3)..Duration::from_millis(40)).contains(&p95),
+            "p95 = {p95}"
+        );
+    }
+}

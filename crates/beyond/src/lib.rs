@@ -1,0 +1,37 @@
+//! MittOS principles beyond the storage stack (§8.2).
+//!
+//! The paper argues the fast-rejecting SLO-aware interface generalizes
+//! past disk/SSD/cache. This crate models the three resource managers §8.2
+//! names and gives each the same `predict wait → reject past deadline+hop`
+//! check:
+//!
+//! - [`smr`]: shingled drives whose band-cleaning stalls reads for
+//!   hundreds of milliseconds;
+//! - [`vmm`]: VMM CPU timeslices (30 ms on EC2) parking messages to
+//!   descheduled VMs;
+//! - [`runtime`]: managed-runtime stop-the-world GC pauses.
+//!
+//! `cargo run --release -p mitt-bench --bin beyond` measures the tail
+//! reduction each rejection check buys on a replicated service.
+//!
+//! # Examples
+//!
+//! ```
+//! use mitt_beyond::VmmSchedule;
+//! use mitt_sim::{Duration, SimTime};
+//!
+//! // Three VMs share a core in 30ms slices; a message for VM 2 arriving
+//! // at t=5ms would park for 55ms — reject it, retry a replica VM.
+//! let sched = VmmSchedule::ec2(3);
+//! let t = SimTime::ZERO + Duration::from_millis(5);
+//! assert_eq!(sched.wait_for(2, t), Duration::from_millis(55));
+//! assert!(sched.should_reject(2, t, Duration::from_millis(5), Duration::ZERO));
+//! ```
+
+pub mod runtime;
+pub mod smr;
+pub mod vmm;
+
+pub use runtime::{HeapSpec, ManagedRuntime};
+pub use smr::{SmrDrive, SmrSpec};
+pub use vmm::VmmSchedule;

@@ -1,0 +1,125 @@
+//! VMM CPU-scheduling rejection (§8.2).
+//!
+//! "In EC2, CPU-intensive VMs can contend with each other. The VMM by
+//! default sets a VM's CPU timeslice to 30ms, thus user requests to a
+//! frozen VM will be parked in the VMM for tens of ms. With MittOS, the
+//! user can pass a deadline through the network stack, and when the
+//! message is received by the VMM, it can reject the message with EBUSY if
+//! the target VM must still sleep more than the deadline time."
+//!
+//! This module models that: `n` VMs round-robin over one physical core in
+//! fixed timeslices; a message to a descheduled VM waits until the VM's
+//! next slice. The VMM knows the rotation exactly, so its wait prediction
+//! is exact — the cleanest possible instance of the MittOS principle.
+
+use mitt_sim::{Duration, SimTime};
+
+/// A round-robin VMM core schedule.
+#[derive(Debug, Clone)]
+pub struct VmmSchedule {
+    vms: usize,
+    timeslice: Duration,
+}
+
+impl VmmSchedule {
+    /// Creates a schedule of `vms` VMs sharing one core with the given
+    /// timeslice (EC2's default is 30 ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics with zero VMs or a zero timeslice.
+    pub fn new(vms: usize, timeslice: Duration) -> Self {
+        assert!(vms > 0 && !timeslice.is_zero(), "degenerate schedule");
+        VmmSchedule { vms, timeslice }
+    }
+
+    /// The EC2-like default: 30 ms timeslices.
+    pub fn ec2(vms: usize) -> Self {
+        VmmSchedule::new(vms, Duration::from_millis(30))
+    }
+
+    /// The VM running at instant `t`.
+    pub fn running_vm(&self, t: SimTime) -> usize {
+        ((t.as_nanos() / self.timeslice.as_nanos()) % self.vms as u64) as usize
+    }
+
+    /// How long a message arriving at `t` for `vm` waits before the VM is
+    /// scheduled (zero if it is running now).
+    pub fn wait_for(&self, vm: usize, t: SimTime) -> Duration {
+        assert!(vm < self.vms, "unknown vm {vm}");
+        let slice_ns = self.timeslice.as_nanos();
+        let slot = (t.as_nanos() / slice_ns) % self.vms as u64;
+        if slot as usize == vm {
+            return Duration::ZERO;
+        }
+        let slots_ahead = (vm as u64 + self.vms as u64 - slot) % self.vms as u64;
+        let slice_start = (t.as_nanos() / slice_ns) * slice_ns;
+        let next_slice_boundary = slice_start + slice_ns;
+        Duration::from_nanos(next_slice_boundary - t.as_nanos())
+            + self.timeslice * (slots_ahead - 1)
+    }
+
+    /// The MittOS check at the VMM: reject the message when the target VM
+    /// sleeps past the deadline.
+    pub fn should_reject(&self, vm: usize, t: SimTime, deadline: Duration, hop: Duration) -> bool {
+        self.wait_for(vm, t) > deadline + hop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn running_vm_rotates() {
+        let s = VmmSchedule::ec2(3);
+        assert_eq!(s.running_vm(SimTime::ZERO), 0);
+        assert_eq!(s.running_vm(SimTime::ZERO + ms(30)), 1);
+        assert_eq!(s.running_vm(SimTime::ZERO + ms(60)), 2);
+        assert_eq!(s.running_vm(SimTime::ZERO + ms(90)), 0);
+    }
+
+    #[test]
+    fn running_vm_waits_zero() {
+        let s = VmmSchedule::ec2(4);
+        for vm in 0..4 {
+            let t = SimTime::ZERO + ms(30) * vm as u64 + ms(7);
+            assert_eq!(s.wait_for(vm, t), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn descheduled_vm_waits_for_its_slot() {
+        let s = VmmSchedule::ec2(3);
+        // At t=5ms, VM0 runs; VM1 starts at 30ms, VM2 at 60ms.
+        let t = SimTime::ZERO + ms(5);
+        assert_eq!(s.wait_for(1, t), ms(25));
+        assert_eq!(s.wait_for(2, t), ms(55));
+    }
+
+    #[test]
+    fn rejection_matches_deadline() {
+        let s = VmmSchedule::ec2(3);
+        let t = SimTime::ZERO + ms(5);
+        // VM2 sleeps 55ms: reject a 20ms deadline, admit a 60ms one.
+        assert!(s.should_reject(2, t, ms(20), Duration::ZERO));
+        assert!(!s.should_reject(2, t, ms(60), Duration::ZERO));
+        // The running VM is never rejected.
+        assert!(!s.should_reject(0, t, Duration::from_micros(1), Duration::ZERO));
+    }
+
+    #[test]
+    fn wait_never_exceeds_full_rotation() {
+        let s = VmmSchedule::new(5, ms(30));
+        for vm in 0..5 {
+            for off in (0..150).step_by(7) {
+                let t = SimTime::ZERO + ms(off);
+                assert!(s.wait_for(vm, t) < ms(30) * 5);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the §8.2 extension models.
+
+use proptest::prelude::*;
+
+use mitt_beyond::{HeapSpec, ManagedRuntime, SmrDrive, SmrSpec, VmmSchedule};
+use mitt_sim::{Duration, SimTime};
+
+proptest! {
+    /// The VMM's wait prediction is *exact*: waiting out the predicted
+    /// delay always lands inside the target VM's slice.
+    #[test]
+    fn vmm_prediction_is_exact(
+        vms in 1usize..8,
+        slice_ms in 1u64..100,
+        vm_pick in any::<prop::sample::Index>(),
+        t_ns in 0u64..10_000_000_000,
+    ) {
+        let s = VmmSchedule::new(vms, Duration::from_millis(slice_ms));
+        let vm = vm_pick.index(vms);
+        let t = SimTime::from_nanos(t_ns);
+        let wait = s.wait_for(vm, t);
+        prop_assert_eq!(s.running_vm(t + wait), vm);
+        // And the wait is minimal: one tick earlier is a different VM
+        // (except when the wait is already zero).
+        if !wait.is_zero() {
+            let just_before = t + wait - Duration::from_nanos(1);
+            prop_assert!(s.running_vm(just_before) != vm);
+        }
+    }
+
+    /// SMR: `should_reject` is consistent with the drive's own next-free
+    /// time under any write/clean interleaving.
+    #[test]
+    fn smr_reject_consistent_with_wait(ops in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut d = SmrDrive::new(SmrSpec {
+            band_size: 1 << 20,
+            media_cache: 8 << 20,
+            ..SmrSpec::default()
+        });
+        for (i, &write) in ops.iter().enumerate() {
+            let now = SimTime::from_nanos(i as u64 * 3_000_000);
+            if write {
+                d.write(1 << 20, now);
+            } else {
+                d.read(now);
+            }
+            let deadline = Duration::from_millis(20);
+            let hop = Duration::from_micros(300);
+            prop_assert_eq!(
+                d.should_reject(now, deadline, hop),
+                d.predicted_wait(now) > deadline + hop
+            );
+        }
+    }
+
+    /// Runtime: the heap never reports more used bytes than its capacity
+    /// plus one in-flight allocation, and `allocate` never starts a
+    /// request before `now`.
+    #[test]
+    fn runtime_invariants(allocs in prop::collection::vec(1u64..(8 << 20), 1..200)) {
+        let spec = HeapSpec {
+            capacity: 64 << 20,
+            ..HeapSpec::default()
+        };
+        let mut r = ManagedRuntime::new(spec.clone());
+        for (i, &a) in allocs.iter().enumerate() {
+            let now = SimTime::from_nanos(i as u64 * 1_000_000);
+            let start = r.allocate(a, now);
+            prop_assert!(start >= now);
+            prop_assert!(r.used() <= spec.capacity + a);
+        }
+    }
+
+    /// Runtime: rejection prediction is monotone in allocation size — if a
+    /// small request is rejected, a bigger one is too.
+    #[test]
+    fn runtime_reject_monotone_in_alloc(fill_mb in 1u64..63, alloc_kb in 1u64..1024) {
+        let spec = HeapSpec {
+            capacity: 64 << 20,
+            ..HeapSpec::default()
+        };
+        let mut r = ManagedRuntime::new(spec);
+        r.allocate(fill_mb << 20, SimTime::ZERO);
+        let d = Duration::from_millis(2);
+        let small = alloc_kb << 10;
+        let big = small * 4;
+        if r.should_reject(small, SimTime::ZERO, d, Duration::ZERO) {
+            prop_assert!(r.should_reject(big, SimTime::ZERO, d, Duration::ZERO));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-node CPU model (request-handler threads on limited cores).
+//!
+//! Figure 8's surprise — hedged requests performing *worse* than Base on
+//! SSD — comes from CPU contention: MongoDB runs one handler thread per
+//! connection, and when hedging doubles the request intensity, 12 threads
+//! contend for 8 cores while the SSD itself stays fast. We model the node's
+//! CPU as `c` cores with FIFO task assignment: a task starts on the
+//! earliest-free core and holds it for its service time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mitt_sim::{Duration, SimTime};
+
+/// CPU parameters for a node.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Number of cores (hardware threads).
+    pub cores: usize,
+    /// CPU work to parse/route a request before its IO starts.
+    pub pre_io: Duration,
+    /// CPU work to serialize/send the reply after the IO completes.
+    pub post_io: Duration,
+}
+
+impl CpuConfig {
+    /// A 16-core disk node where CPU cost is negligible next to disk IO.
+    pub fn disk_node() -> Self {
+        CpuConfig {
+            cores: 16,
+            pre_io: Duration::from_micros(20),
+            post_io: Duration::from_micros(15),
+        }
+    }
+
+    /// The paper's 8-thread SSD machine, where handler CPU work is
+    /// comparable to SSD latency and hedging can congest the cores.
+    pub fn ssd_node() -> Self {
+        CpuConfig {
+            cores: 8,
+            pre_io: Duration::from_micros(70),
+            post_io: Duration::from_micros(60),
+        }
+    }
+}
+
+/// `c` cores with earliest-free assignment.
+#[derive(Debug)]
+pub struct CpuModel {
+    cfg: CpuConfig,
+    /// Min-heap of core free times.
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    tasks: u64,
+    busy_time: Duration,
+}
+
+impl CpuModel {
+    /// Creates an idle CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero cores.
+    pub fn new(cfg: CpuConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        let free_at = (0..cfg.cores).map(|_| Reverse(SimTime::ZERO)).collect();
+        CpuModel {
+            cfg,
+            free_at,
+            tasks: 0,
+            busy_time: Duration::ZERO,
+        }
+    }
+
+    /// The CPU parameters.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Runs a task of `work` on the earliest-free core; returns when it
+    /// finishes (>= `now + work`; later if all cores are busy).
+    pub fn run(&mut self, now: SimTime, work: Duration) -> SimTime {
+        let Reverse(free) = self.free_at.pop().expect("cores never empty");
+        let start = free.max(now);
+        let done = start + work;
+        self.free_at.push(Reverse(done));
+        self.tasks += 1;
+        self.busy_time += work;
+        done
+    }
+
+    /// Runs the standard pre-IO handler work.
+    pub fn run_pre(&mut self, now: SimTime) -> SimTime {
+        let w = self.cfg.pre_io;
+        self.run(now, w)
+    }
+
+    /// Runs the standard post-IO reply work.
+    pub fn run_post(&mut self, now: SimTime) -> SimTime {
+        let w = self.cfg.post_io;
+        self.run(now, w)
+    }
+
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Total CPU time consumed.
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu(cores: usize) -> CpuModel {
+        CpuModel::new(CpuConfig {
+            cores,
+            pre_io: Duration::from_micros(100),
+            post_io: Duration::from_micros(50),
+        })
+    }
+
+    #[test]
+    fn idle_cores_run_immediately() {
+        let mut c = cpu(2);
+        let done = c.run(SimTime::ZERO, Duration::from_micros(100));
+        assert_eq!(done, SimTime::ZERO + Duration::from_micros(100));
+    }
+
+    #[test]
+    fn parallel_tasks_fill_cores_then_queue() {
+        let mut c = cpu(2);
+        let w = Duration::from_micros(100);
+        let d1 = c.run(SimTime::ZERO, w);
+        let d2 = c.run(SimTime::ZERO, w);
+        let d3 = c.run(SimTime::ZERO, w);
+        assert_eq!(d1.as_micros(), 100);
+        assert_eq!(d2.as_micros(), 100);
+        assert_eq!(d3.as_micros(), 200, "third task waits for a free core");
+    }
+
+    #[test]
+    fn doubling_load_on_saturated_cpu_doubles_latency() {
+        // The Figure 8 mechanism in miniature: 8 cores, 12 concurrent
+        // tasks — the slowest tasks take ~2x the service time.
+        let mut c = cpu(8);
+        let w = Duration::from_micros(100);
+        let dones: Vec<SimTime> = (0..12).map(|_| c.run(SimTime::ZERO, w)).collect();
+        assert_eq!(dones[7].as_micros(), 100);
+        assert_eq!(dones[11].as_micros(), 200);
+    }
+
+    #[test]
+    fn cores_free_up_over_time() {
+        let mut c = cpu(1);
+        let w = Duration::from_micros(100);
+        c.run(SimTime::ZERO, w);
+        let later = SimTime::ZERO + Duration::from_millis(1);
+        let done = c.run(later, w);
+        assert_eq!(done, later + w);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = cpu(4);
+        c.run_pre(SimTime::ZERO);
+        c.run_post(SimTime::ZERO);
+        assert_eq!(c.tasks(), 2);
+        assert_eq!(c.busy_time(), Duration::from_micros(150));
+    }
+}

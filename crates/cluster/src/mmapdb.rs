@@ -1,0 +1,211 @@
+//! MongoDB-style mmap B-tree layout (§5's `addrcheck` use case).
+//!
+//! MongoDB maps its database file into the heap and traverses B-tree
+//! on-disk pointers as plain memory dereferences — which is why the paper
+//! adds `addrcheck(addr, len, deadline)`: before each dereference the
+//! application asks MittCache whether the page is resident, and fails over
+//! on EBUSY instead of taking a page-fault disk stall.
+//!
+//! [`BtreePlanner`] lays out a static B-tree over the keyspace (internal
+//! nodes, leaves, records, each in its own file region) and turns a key
+//! lookup into the page-touch sequence a real traversal would perform:
+//! root → internal(s) → leaf → record. Upper levels are tiny and hot, so
+//! the page cache keeps them resident; leaves and records carry the
+//! swap-out risk.
+
+/// Layout parameters of the mmap-ed B-tree file.
+#[derive(Debug, Clone)]
+pub struct BtreeConfig {
+    /// Children per internal node / records per leaf.
+    pub fanout: u64,
+    /// Page size of every node/leaf (bytes).
+    pub page_size: u32,
+    /// Bytes read for the record itself.
+    pub record_size: u32,
+    /// File offset where the tree lives.
+    pub region_offset: u64,
+}
+
+impl Default for BtreeConfig {
+    fn default() -> Self {
+        BtreeConfig {
+            fanout: 512,
+            page_size: 4096,
+            record_size: 4096,
+            region_offset: 0,
+        }
+    }
+}
+
+/// One page touch of a B-tree traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTouch {
+    /// File byte offset of the page.
+    pub offset: u64,
+    /// Bytes dereferenced.
+    pub len: u32,
+    /// Tree level (0 = root, `depth` = record).
+    pub level: u8,
+}
+
+/// Plans the page touches of key lookups over a static tree.
+#[derive(Debug, Clone)]
+pub struct BtreePlanner {
+    cfg: BtreeConfig,
+    keyspace: u64,
+    depth: u8,
+    /// Byte offset where each level's node array begins.
+    level_base: Vec<u64>,
+}
+
+impl BtreePlanner {
+    /// Builds the layout for `keyspace` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty keyspace or a fanout < 2.
+    pub fn new(cfg: BtreeConfig, keyspace: u64) -> Self {
+        assert!(keyspace > 0, "empty keyspace");
+        assert!(cfg.fanout >= 2, "fanout must be >= 2");
+        // Levels of internal nodes + leaves needed to cover the keyspace:
+        // level d indexes key / fanout^(depth - d).
+        let mut depth = 1u8;
+        let mut reach = cfg.fanout;
+        while reach < keyspace {
+            reach = reach.saturating_mul(cfg.fanout);
+            depth += 1;
+        }
+        // Node counts per level: 1 at the root, fanout^level below it.
+        let mut level_base = Vec::with_capacity(depth as usize + 1);
+        let mut base = cfg.region_offset;
+        for level in 0..depth {
+            level_base.push(base);
+            let nodes = cfg.fanout.pow(u32::from(level));
+            base += nodes * u64::from(cfg.page_size);
+        }
+        // Record region after all node levels.
+        level_base.push(base);
+        BtreePlanner {
+            cfg,
+            keyspace,
+            depth,
+            level_base,
+        }
+    }
+
+    /// Tree depth in node levels (root = level 0; records live below
+    /// level `depth - 1`).
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Total file bytes the layout spans.
+    pub fn file_size(&self) -> u64 {
+        self.level_base[self.depth as usize] - self.cfg.region_offset
+            + self.keyspace * u64::from(self.cfg.record_size)
+    }
+
+    /// The page touches of looking up `key`: one node per level, then the
+    /// record page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is outside the keyspace.
+    pub fn touches(&self, key: u64) -> Vec<PageTouch> {
+        assert!(key < self.keyspace, "key {key} outside keyspace");
+        let mut out = Vec::with_capacity(self.depth as usize + 1);
+        for level in 0..self.depth {
+            // The node at this level covering `key`.
+            let span = self.cfg.fanout.pow(u32::from(self.depth - level));
+            let node = key / span.max(1);
+            out.push(PageTouch {
+                offset: self.level_base[level as usize] + node * u64::from(self.cfg.page_size),
+                len: self.cfg.page_size,
+                level,
+            });
+        }
+        out.push(PageTouch {
+            offset: self.level_base[self.depth as usize] + key * u64::from(self.cfg.record_size),
+            len: self.cfg.record_size,
+            level: self.depth,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner(keyspace: u64) -> BtreePlanner {
+        BtreePlanner::new(
+            BtreeConfig {
+                fanout: 16,
+                ..BtreeConfig::default()
+            },
+            keyspace,
+        )
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        assert_eq!(planner(10).depth(), 1);
+        assert_eq!(planner(16).depth(), 1);
+        assert_eq!(planner(17).depth(), 2);
+        assert_eq!(planner(256).depth(), 2);
+        assert_eq!(planner(257).depth(), 3);
+    }
+
+    #[test]
+    fn touch_sequence_is_root_to_record() {
+        let p = planner(1000); // depth 3
+        let t = p.touches(123);
+        assert_eq!(t.len(), 4);
+        for (i, touch) in t.iter().enumerate() {
+            assert_eq!(touch.level as usize, i);
+        }
+        // Root is always the same page.
+        assert_eq!(p.touches(999)[0], t[0]);
+    }
+
+    #[test]
+    fn nearby_keys_share_upper_nodes_but_not_records() {
+        let p = planner(1000);
+        let a = p.touches(100);
+        let b = p.touches(101);
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
+        assert_ne!(a.last(), b.last());
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let p = planner(1000);
+        // A record offset never falls inside the node regions.
+        let node_end = p.level_base[p.depth as usize];
+        for key in (0..1000).step_by(37) {
+            let t = p.touches(key);
+            for touch in &t[..t.len() - 1] {
+                assert!(touch.offset + u64::from(touch.len) <= node_end);
+            }
+            assert!(t.last().unwrap().offset >= node_end);
+        }
+    }
+
+    #[test]
+    fn file_size_covers_every_touch() {
+        let p = planner(5000);
+        let end = p.cfg.region_offset + p.file_size();
+        for key in (0..5000).step_by(113) {
+            for t in p.touches(key) {
+                assert!(t.offset + u64::from(t.len) <= end);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside keyspace")]
+    fn out_of_range_key_panics() {
+        planner(10).touches(10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the cluster simulator: every strategy, under
+//! arbitrary small configurations and noise, completes every user request
+//! without losing or double-counting operations.
+
+use proptest::prelude::*;
+
+use mitt_cluster::{
+    run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
+};
+use mitt_device::IoClass;
+use mitt_sim::Duration;
+use mitt_workload::rotating_schedule;
+
+fn strategy(idx: u8) -> Strategy {
+    match idx {
+        0 => Strategy::Base,
+        1 => Strategy::AppTimeout {
+            timeout: Duration::from_millis(15),
+        },
+        2 => Strategy::Clone2,
+        3 => Strategy::Hedged {
+            after: Duration::from_millis(15),
+        },
+        4 => Strategy::Tied {
+            delay: Duration::from_millis(1),
+        },
+        5 => Strategy::Snitch { alpha: 0.3 },
+        6 => Strategy::C3,
+        7 => Strategy::MittOs {
+            deadline: Duration::from_millis(15),
+        },
+        8 => Strategy::MittOsWait {
+            deadline: Duration::from_millis(15),
+        },
+        _ => Strategy::MittOsAuto {
+            initial: Duration::from_millis(15),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Operation conservation: every user request completes exactly once,
+    /// for every strategy, with and without noise, at any scale factor.
+    #[test]
+    fn all_strategies_conserve_ops(
+        strat_idx in 0u8..10,
+        seed in any::<u64>(),
+        sf in 1usize..4,
+        noisy in any::<bool>(),
+    ) {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy(strat_idx));
+        cfg.seed = seed;
+        cfg.clients = 2;
+        cfg.ops_per_client = 25;
+        cfg.scale_factor = sf;
+        cfg.initial_replica = InitialReplica::Random;
+        if noisy {
+            cfg.noise = vec![NoiseStream {
+                kind: NoiseKind::DiskReads {
+                    len: 1 << 20,
+                    class: IoClass::BestEffort,
+                    priority: 4,
+                },
+                schedules: rotating_schedule(
+                    3,
+                    Duration::from_secs(1),
+                    Duration::from_secs(600),
+                    3,
+                ),
+            }];
+        }
+        let res = run_experiment(cfg);
+        prop_assert_eq!(res.ops, 50);
+        prop_assert_eq!(res.user_latencies.len(), 50);
+        prop_assert_eq!(res.get_latencies.len(), 50 * sf);
+        // MittOS on a 3-replica cluster with <=1 busy node never errors.
+        if noisy && strat_idx == 7 {
+            prop_assert_eq!(res.errors, 0);
+        }
+    }
+
+    /// Determinism across the whole pipeline: identical configs produce
+    /// identical latency samples.
+    #[test]
+    fn experiments_are_deterministic(strat_idx in 0u8..10, seed in any::<u64>()) {
+        let mk = || {
+            let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy(strat_idx));
+            cfg.seed = seed;
+            cfg.clients = 2;
+            cfg.ops_per_client = 15;
+            run_experiment(cfg)
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.user_latencies.samples(), b.user_latencies.samples());
+        prop_assert_eq!(a.ebusy, b.ebusy);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.finished_at, b.finished_at);
+    }
+}

@@ -1,0 +1,165 @@
+//! MittCache: the SLO-aware page-cache check (§4.4).
+//!
+//! For `read(..., deadline)` on cached files, MittCache first consults the
+//! buffer cache: a fully resident range is served from memory; a miss
+//! propagates the deadline to the IO layer, where a deadline smaller than
+//! the smallest possible device latency is rejected outright (the user
+//! expected an in-memory read).
+//!
+//! For mmap-ed files — where no system call intercepts the access — the
+//! paper adds `addrcheck(addr, len, deadline)`: a quick page-table walk
+//! (~82 ns) before dereferencing. Two caveats from the paper are modelled:
+//! EBUSY signals *contention* (pages that were resident and got swapped
+//! out), not cold first accesses; and after EBUSY the OS should keep
+//! swapping the data in anyway so the tenant's cache share is not starved.
+
+use mitt_oscache::{PageCache, RangeCheck};
+use mitt_sim::Duration;
+
+use crate::slo::Slo;
+
+/// Cost of one `addrcheck()` page-table walk (82 ns in §4.4).
+pub const ADDRCHECK_COST: Duration = Duration::from_nanos(82);
+
+/// Verdict of the MittCache check for one access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheVerdict {
+    /// Every page resident: serve at memory speed.
+    Hit,
+    /// EBUSY: the deadline implies memory residency, but pages are swapped
+    /// out under contention. The caller should fail over — and should
+    /// still schedule a background swap-in (`refill`).
+    Busy {
+        /// Pages to swap back in at low priority after the EBUSY.
+        refill: Vec<u64>,
+    },
+    /// Some pages missing but the deadline (if any) leaves room for device
+    /// IO: propagate the deadline down the storage stack.
+    Miss {
+        /// Pages the storage layer must fetch.
+        missing_pages: Vec<u64>,
+        /// True if the miss is due to swap-out rather than first access.
+        contended: bool,
+    },
+}
+
+/// The MittCache checker.
+#[derive(Debug, Clone)]
+pub struct MittCache {
+    /// Smallest possible latency of the storage layer below the cache; a
+    /// deadline below this means "I expect a cache hit".
+    min_io_latency: Duration,
+}
+
+impl MittCache {
+    /// Creates a checker; `min_io_latency` is the floor of the backing
+    /// device (e.g. ~100 µs for the SSD, ~2 ms for the disk).
+    pub fn new(min_io_latency: Duration) -> Self {
+        MittCache { min_io_latency }
+    }
+
+    /// The storage floor used for the residency-expectation test.
+    pub fn min_io_latency(&self) -> Duration {
+        self.min_io_latency
+    }
+
+    /// Checks an access of `[offset, offset+len)` against the cache.
+    pub fn check(
+        &self,
+        cache: &PageCache,
+        offset: u64,
+        len: u32,
+        slo: Option<Slo>,
+    ) -> CacheVerdict {
+        let rc: RangeCheck = cache.addrcheck(offset, len);
+        if rc.resident {
+            return CacheVerdict::Hit;
+        }
+        if let Some(slo) = slo {
+            // The user expects memory speed but the data is not resident.
+            // Only *contention* (swapped-out pages) earns an EBUSY; cold
+            // first-time accesses fall through to the device.
+            if slo.deadline < self.min_io_latency && rc.contended {
+                return CacheVerdict::Busy {
+                    refill: rc.missing_pages,
+                };
+            }
+        }
+        CacheVerdict::Miss {
+            missing_pages: rc.missing_pages,
+            contended: rc.contended,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitt_oscache::PageCacheConfig;
+
+    fn setup() -> (MittCache, PageCache) {
+        let mc = MittCache::new(Duration::from_millis(2));
+        let cache = PageCache::new(PageCacheConfig::default());
+        (mc, cache)
+    }
+
+    fn tight() -> Option<Slo> {
+        Some(Slo::deadline(Duration::from_micros(100)))
+    }
+
+    #[test]
+    fn resident_range_hits() {
+        let (mc, mut cache) = setup();
+        cache.insert_range(0, 8192);
+        assert_eq!(mc.check(&cache, 0, 8192, tight()), CacheVerdict::Hit);
+    }
+
+    #[test]
+    fn swapped_out_with_tight_deadline_is_busy() {
+        let (mc, mut cache) = setup();
+        cache.insert_range(0, 4096);
+        cache.fadvise_dontneed(0, 4096);
+        match mc.check(&cache, 0, 4096, tight()) {
+            CacheVerdict::Busy { refill } => assert_eq!(refill, vec![0]),
+            v => panic!("expected Busy, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_miss_never_busy() {
+        let (mc, cache) = setup();
+        match mc.check(&cache, 0, 4096, tight()) {
+            CacheVerdict::Miss {
+                missing_pages,
+                contended,
+            } => {
+                assert_eq!(missing_pages, vec![0]);
+                assert!(!contended, "first access is not contention");
+            }
+            v => panic!("expected Miss, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn loose_deadline_propagates_to_io_layer() {
+        let (mc, mut cache) = setup();
+        cache.insert_range(0, 4096);
+        cache.fadvise_dontneed(0, 4096);
+        let slo = Some(Slo::deadline(Duration::from_millis(20)));
+        match mc.check(&cache, 0, 4096, slo) {
+            CacheVerdict::Miss { contended, .. } => assert!(contended),
+            v => panic!("expected Miss, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn no_slo_is_plain_posix_read() {
+        let (mc, mut cache) = setup();
+        cache.insert_range(0, 4096);
+        cache.fadvise_dontneed(0, 4096);
+        assert!(matches!(
+            mc.check(&cache, 0, 4096, None),
+            CacheVerdict::Miss { .. }
+        ));
+    }
+}

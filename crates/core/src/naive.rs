@@ -1,0 +1,130 @@
+//! Naive baseline predictors — the §7.6 ablation.
+//!
+//! The paper quantifies what its "precision improvements" buy: without
+//! them, MittCFQ's inaccuracy rises from <1% to as much as 47%, and
+//! MittSSD's to 6%. These baselines embody the shortcuts a lazy
+//! implementation would take:
+//!
+//! - [`NaiveDisk`]: models the disk as one FIFO queue with a *constant*
+//!   average service time — no seek-distance model, no transfer-size term,
+//!   and **no completion-diff calibration**, so model error accumulates
+//!   over thousands of IOs exactly as §4.1 warns.
+//! - [`NaiveSsd`]: block-level accounting that ignores the drive's
+//!   parallelism — one next-free time for the whole device, as if the SSD
+//!   were a disk ("calculating IO serving time in the block-level layer
+//!   will be inaccurate", §4.3).
+
+use mitt_device::BlockIo;
+use mitt_sim::{Duration, SimTime};
+
+/// A naive single-queue disk predictor with a constant service estimate
+/// and no calibration.
+#[derive(Debug, Clone)]
+pub struct NaiveDisk {
+    avg_service_ns: i64,
+    next_free_ns: i64,
+}
+
+impl NaiveDisk {
+    /// Creates a predictor assuming every IO takes `avg_service`.
+    pub fn new(avg_service: Duration) -> Self {
+        NaiveDisk {
+            avg_service_ns: avg_service.as_nanos() as i64,
+            next_free_ns: 0,
+        }
+    }
+
+    /// Predicted wait for an IO arriving at `now`, then accounts it.
+    pub fn predict_and_account(&mut self, _io: &BlockIo, now: SimTime) -> Duration {
+        let wait = (self.next_free_ns - now.as_nanos() as i64).max(0);
+        self.next_free_ns = self.next_free_ns.max(now.as_nanos() as i64) + self.avg_service_ns;
+        Duration::from_nanos(wait as u64)
+    }
+}
+
+/// A naive block-level SSD predictor: one queue for the whole drive.
+#[derive(Debug, Clone)]
+pub struct NaiveSsd {
+    page_size: u32,
+    per_page_ns: i64,
+    next_free_ns: i64,
+}
+
+impl NaiveSsd {
+    /// Creates a predictor charging `per_page` of device-wide busy time
+    /// per page, ignoring chips and channels.
+    pub fn new(page_size: u32, per_page: Duration) -> Self {
+        NaiveSsd {
+            page_size,
+            per_page_ns: per_page.as_nanos() as i64,
+            next_free_ns: 0,
+        }
+    }
+
+    /// Predicted wait for an IO arriving at `now`, then accounts it.
+    pub fn predict_and_account(&mut self, io: &BlockIo, now: SimTime) -> Duration {
+        let wait = (self.next_free_ns - now.as_nanos() as i64).max(0);
+        let ps = u64::from(self.page_size);
+        let pages = (io.end_offset().saturating_sub(1)) / ps - io.offset / ps + 1;
+        self.next_free_ns =
+            self.next_free_ns.max(now.as_nanos() as i64) + self.per_page_ns * pages as i64;
+        Duration::from_nanos(wait as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitt_device::{IoIdGen, ProcessId};
+
+    fn rd(g: &mut IoIdGen, offset: u64, len: u32) -> BlockIo {
+        BlockIo::read(g.next_id(), offset, len, ProcessId(0), SimTime::ZERO)
+    }
+
+    #[test]
+    fn naive_disk_ignores_io_size_and_distance() {
+        let mut p = NaiveDisk::new(Duration::from_millis(7));
+        let mut g = IoIdGen::new();
+        let w0 = p.predict_and_account(&rd(&mut g, 0, 4096), SimTime::ZERO);
+        // A 1MB far-away IO is charged exactly like a 4KB one — the flaw.
+        let w1 = p.predict_and_account(&rd(&mut g, 900_000_000_000, 1 << 20), SimTime::ZERO);
+        let w2 = p.predict_and_account(&rd(&mut g, 0, 4096), SimTime::ZERO);
+        assert_eq!(w0, Duration::ZERO);
+        assert_eq!(w1, Duration::from_millis(7));
+        assert_eq!(w2, Duration::from_millis(14));
+    }
+
+    #[test]
+    fn naive_disk_never_calibrates() {
+        // There is no completion hook at all: drift is permanent by
+        // construction.
+        let mut p = NaiveDisk::new(Duration::from_millis(7));
+        let mut g = IoIdGen::new();
+        for _ in 0..100 {
+            p.predict_and_account(&rd(&mut g, 0, 4096), SimTime::ZERO);
+        }
+        let w = p.predict_and_account(&rd(&mut g, 0, 4096), SimTime::ZERO);
+        assert_eq!(w, Duration::from_millis(700));
+    }
+
+    #[test]
+    fn naive_ssd_serializes_parallel_chips() {
+        let mut p = NaiveSsd::new(16 * 1024, Duration::from_micros(100));
+        let mut g = IoIdGen::new();
+        // Two single-page reads to what would be different chips: the
+        // naive model still queues the second behind the first.
+        let w0 = p.predict_and_account(&rd(&mut g, 0, 4096), SimTime::ZERO);
+        let w1 = p.predict_and_account(&rd(&mut g, 16 * 1024, 4096), SimTime::ZERO);
+        assert_eq!(w0, Duration::ZERO);
+        assert_eq!(w1, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn naive_ssd_charges_per_page() {
+        let mut p = NaiveSsd::new(16 * 1024, Duration::from_micros(100));
+        let mut g = IoIdGen::new();
+        p.predict_and_account(&rd(&mut g, 0, 4 * 16 * 1024), SimTime::ZERO);
+        let w = p.predict_and_account(&rd(&mut g, 0, 4096), SimTime::ZERO);
+        assert_eq!(w, Duration::from_micros(400));
+    }
+}

@@ -1,0 +1,312 @@
+//! Device performance profiling (§4.1 "Accuracy" and Appendix A).
+//!
+//! MittOS predictions are only as good as the device model behind them. The
+//! paper builds that model by *measuring the device itself*: an 11-hour
+//! offline run that measures seek cost per GB of head travel and fits a
+//! linear regression. We reproduce the same pipeline against the simulated
+//! disk — issue probe IOs at controlled distances and sizes, record
+//! latencies, and fit
+//!
+//! ```text
+//! service = base + seekCostPerGB * distance + transferCostPerKB * size
+//! ```
+//!
+//! by ordinary least squares. The fitted [`DiskProfile`] is what the
+//! MittNoop/MittCFQ predictors consult; it is deliberately *not* the
+//! device's ground-truth spec, so prediction error is real and measurable
+//! (Figure 9a).
+//!
+//! For the SSD, profiling recovers the page read time and the per-block MLC
+//! program pattern ("11111121121122…"), as §4.3 describes.
+
+use mitt_device::{BlockIo, Disk, IoIdGen, ProcessId, Ssd, GB};
+use mitt_sim::{Duration, SimRng, SimTime};
+
+/// Fitted linear service-time model of a disk.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskProfile {
+    /// Intercept: command overhead + seek base + mean rotational delay.
+    pub base_ns: f64,
+    /// Seek cost per GB of head travel distance.
+    pub per_gb_ns: f64,
+    /// Transfer cost per KiB.
+    pub per_kib_ns: f64,
+}
+
+impl DiskProfile {
+    /// Predicted service time for an IO of `len` bytes at `to`, with the
+    /// head currently at `from`.
+    pub fn service(&self, from: u64, to: u64, len: u32) -> Duration {
+        let dist_gb = from.abs_diff(to) as f64 / GB as f64;
+        let kib = f64::from(len) / 1024.0;
+        let ns = self.base_ns + self.per_gb_ns * dist_gb + self.per_kib_ns * kib;
+        Duration::from_nanos(ns.max(0.0) as u64)
+    }
+
+    /// Ground-truth profile derived analytically from a spec — what a
+    /// perfect profiler would fit. Useful for tests and ablations.
+    pub fn from_spec(spec: &mitt_device::DiskSpec) -> Self {
+        DiskProfile {
+            base_ns: (spec.cmd_overhead + spec.seek_base + spec.rot_max / 2).as_nanos() as f64,
+            per_gb_ns: spec.seek_per_gb.as_nanos() as f64,
+            per_kib_ns: spec.transfer_per_kib.as_nanos() as f64,
+        }
+    }
+}
+
+/// Solves the 3x3 normal equations for `y = b0 + b1*x1 + b2*x2` by
+/// Gaussian elimination with partial pivoting.
+fn least_squares_3(xs: &[(f64, f64)], ys: &[f64]) -> [f64; 3] {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 3, "need at least 3 samples to fit 3 parameters");
+    // Accumulate X^T X and X^T y with X rows [1, x1, x2].
+    let mut a = [[0.0f64; 3]; 3];
+    let mut b = [0.0f64; 3];
+    for (&(x1, x2), &y) in xs.iter().zip(ys) {
+        let row = [1.0, x1, x2];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[i][j] += row[i] * row[j];
+            }
+            b[i] += row[i] * y;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        assert!(a[col][col].abs() > 1e-12, "singular design matrix");
+        for row in (col + 1)..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (k, &pv) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= f * pv;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut beta = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..3 {
+            acc -= a[row][k] * beta[k];
+        }
+        beta[row] = acc / a[row][row];
+    }
+    beta
+}
+
+/// Profiles a disk by measurement: `samples` probe IOs at random distances
+/// and sizes, fitted by least squares. The one-time offline step of §4.1
+/// (11 hours on real hardware; instantaneous in virtual time).
+pub fn profile_disk(disk: &mut Disk, samples: usize, rng: &mut SimRng) -> DiskProfile {
+    assert!(samples >= 16, "too few probe IOs for a stable fit");
+    let mut ids = IoIdGen::new();
+    let owner = ProcessId(u32::MAX); // profiler pseudo-process
+    let capacity = disk.spec().capacity;
+    let sizes: [u32; 4] = [4 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024];
+    let mut xs = Vec::with_capacity(samples);
+    let mut ys = Vec::with_capacity(samples);
+    let mut now = SimTime::ZERO;
+    for i in 0..samples {
+        // Position the head somewhere known...
+        let from = rng.range_u64(0, capacity);
+        let pos = BlockIo::read(ids.next_id(), from, 4096, owner, now);
+        let started = disk
+            .submit(pos, now)
+            .expect("profiler runs on an idle disk")
+            .expect("idle disk starts immediately");
+        now = started.done_at;
+        let (fin, _) = disk.complete(now);
+        let head = fin.io.end_offset();
+        // ...then measure a probe IO at a controlled distance and size.
+        let to = rng.range_u64(0, capacity);
+        let len = sizes[i % sizes.len()];
+        let probe = BlockIo::read(ids.next_id(), to, len, owner, now);
+        let started = disk
+            .submit(probe, now)
+            .expect("idle")
+            .expect("idle disk starts immediately");
+        now = started.done_at;
+        let (fin, _) = disk.complete(now);
+        let dist_gb = head.abs_diff(to) as f64 / GB as f64;
+        let kib = f64::from(len) / 1024.0;
+        xs.push((dist_gb, kib));
+        ys.push(fin.service.as_nanos() as f64);
+    }
+    let [base, per_gb, per_kib] = least_squares_3(&xs, &ys);
+    DiskProfile {
+        base_ns: base,
+        per_gb_ns: per_gb,
+        per_kib_ns: per_kib,
+    }
+}
+
+/// Measured SSD timing model: what the MittSSD predictor consults.
+#[derive(Debug, Clone)]
+pub struct SsdProfile {
+    /// Chip busy time per page read.
+    pub read_page: Duration,
+    /// Program time per page index within a block (the profiled
+    /// "11111121121122…" pattern, stored as the paper's 512-item array).
+    pub prog_pattern: Vec<Duration>,
+    /// Queueing delay per outstanding IO on the same channel.
+    pub channel_delay: Duration,
+    /// Block erase time.
+    pub erase: Duration,
+}
+
+impl SsdProfile {
+    /// Ground-truth profile straight from the spec.
+    pub fn from_spec(spec: &mitt_device::SsdSpec) -> Self {
+        SsdProfile {
+            read_page: spec.read_page,
+            prog_pattern: (0..spec.pages_per_block)
+                .map(|i| spec.prog_time(i))
+                .collect(),
+            channel_delay: spec.channel_delay,
+            erase: spec.erase,
+        }
+    }
+
+    /// Program time for a page index (wraps around the block).
+    pub fn prog_time(&self, page_in_block: u32) -> Duration {
+        self.prog_pattern[page_in_block as usize % self.prog_pattern.len()]
+    }
+}
+
+/// Profiles an SSD by measurement: repeated single-page reads recover the
+/// page read time; a full block of writes recovers the MLC program
+/// pattern (§4.3's one-time profiling).
+pub fn profile_ssd(ssd: &mut Ssd, read_probes: usize) -> SsdProfile {
+    assert!(read_probes > 0, "need at least one probe");
+    let mut ids = IoIdGen::new();
+    let owner = ProcessId(u32::MAX);
+    let spec = ssd.spec().clone();
+    let page = u64::from(spec.page_size);
+    let stride = page * spec.num_chips() as u64;
+    // Read probes against chip 0, serialized, averaging out jitter.
+    let mut now = SimTime::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..read_probes {
+        let io = BlockIo::read(ids.next_id(), 0, 4096, owner, now);
+        let out = ssd.submit(&io, now);
+        let sub = out.subs[0];
+        total += sub.busy;
+        now = sub.done_at;
+        ssd.complete_sub(sub.channel, now);
+    }
+    let read_page = total / read_probes as u64;
+    // One block of writes to chip 0 recovers the program pattern; round
+    // each measured time to the nearest profiled class (fast vs slow).
+    let mut prog_pattern = Vec::with_capacity(spec.pages_per_block as usize);
+    for i in 0..u64::from(spec.pages_per_block) {
+        let io = BlockIo::write(ids.next_id(), i * stride, 4096, owner, now);
+        let out = ssd.submit(&io, now);
+        let sub = out.subs[0];
+        now = sub.done_at;
+        ssd.complete_sub(sub.channel, now);
+        let fast_err = sub.busy.as_nanos().abs_diff(spec.prog_fast.as_nanos());
+        let slow_err = sub.busy.as_nanos().abs_diff(spec.prog_slow.as_nanos());
+        prog_pattern.push(if fast_err <= slow_err {
+            spec.prog_fast
+        } else {
+            spec.prog_slow
+        });
+    }
+    SsdProfile {
+        read_page,
+        prog_pattern,
+        channel_delay: spec.channel_delay,
+        erase: spec.erase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitt_device::{DiskSpec, SsdSpec};
+
+    #[test]
+    fn least_squares_recovers_exact_plane() {
+        let xs: Vec<(f64, f64)> = (0..20)
+            .map(|i| (f64::from(i), f64::from(i * i % 7)))
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&(a, b)| 3.0 + 2.0 * a + 0.5 * b).collect();
+        let [b0, b1, b2] = least_squares_3(&xs, &ys);
+        assert!((b0 - 3.0).abs() < 1e-9);
+        assert!((b1 - 2.0).abs() < 1e-9);
+        assert!((b2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_profile_fit_close_to_ground_truth() {
+        let spec = DiskSpec::default();
+        let mut disk = Disk::new(spec.clone(), SimRng::new(11));
+        let mut rng = SimRng::new(12);
+        let fitted = profile_disk(&mut disk, 2000, &mut rng);
+        let truth = DiskProfile::from_spec(&spec);
+        // Slopes within 5%, intercept within 0.3ms: the rotational noise
+        // averages out over 2000 probes.
+        assert!(
+            (fitted.per_gb_ns - truth.per_gb_ns).abs() / truth.per_gb_ns < 0.05,
+            "per_gb fitted {} vs truth {}",
+            fitted.per_gb_ns,
+            truth.per_gb_ns
+        );
+        assert!(
+            (fitted.per_kib_ns - truth.per_kib_ns).abs() / truth.per_kib_ns < 0.05,
+            "per_kib fitted {} vs truth {}",
+            fitted.per_kib_ns,
+            truth.per_kib_ns
+        );
+        assert!(
+            (fitted.base_ns - truth.base_ns).abs() < 300_000.0,
+            "base fitted {} vs truth {}",
+            fitted.base_ns,
+            truth.base_ns
+        );
+    }
+
+    #[test]
+    fn disk_profile_predicts_realistic_4k_latency() {
+        let spec = DiskSpec::default();
+        let truth = DiskProfile::from_spec(&spec);
+        let svc = truth.service(0, 500 * GB, 4096);
+        let ms = svc.as_millis_f64();
+        assert!((6.0..11.0).contains(&ms), "4K read at 500GB: {ms}ms");
+    }
+
+    #[test]
+    fn ssd_profile_recovers_read_time_and_pattern() {
+        let spec = SsdSpec {
+            jitter: 0.02,
+            retry_prob: 0.0,
+            gc_every_writes: 0,
+            ..SsdSpec::default()
+        };
+        let mut ssd = Ssd::new(spec.clone(), SimRng::new(13));
+        let prof = profile_ssd(&mut ssd, 200);
+        let err = prof
+            .read_page
+            .as_nanos()
+            .abs_diff(spec.read_page.as_nanos());
+        assert!(err < 2_000, "read_page {} vs 100us", prof.read_page);
+        // Pattern must match the device's exactly (rounding beats jitter).
+        for i in 0..spec.pages_per_block {
+            assert_eq!(prof.prog_time(i), spec.prog_time(i), "page {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn degenerate_fit_panics() {
+        // All probes identical: the design matrix is singular.
+        let xs = vec![(1.0, 1.0); 10];
+        let ys = vec![5.0; 10];
+        least_squares_3(&xs, &ys);
+    }
+}

@@ -1,0 +1,196 @@
+//! Deadline auto-tuning (§8.1 extension).
+//!
+//! The paper leaves "to what value should the deadline be set" as an open
+//! problem and sketches the feedback signal: too many EBUSYs mean the
+//! deadline is too strict; rare EBUSYs with long tails mean it is too
+//! relaxed. [`DeadlineTuner`] implements that controller: it watches the
+//! EBUSY rate over a sliding window and nudges the deadline toward a target
+//! rejection-rate band (e.g. around the 95th percentile, so ~5% of IOs
+//! fail over).
+
+use mitt_sim::Duration;
+
+/// A windowed EBUSY-rate controller for the SLO deadline.
+#[derive(Debug, Clone)]
+pub struct DeadlineTuner {
+    deadline: Duration,
+    min: Duration,
+    max: Duration,
+    window: u32,
+    target_lo: f64,
+    target_hi: f64,
+    busy_in_window: u32,
+    seen_in_window: u32,
+    adjustments: u32,
+}
+
+impl DeadlineTuner {
+    /// Creates a tuner starting at `initial`, clamped to `[min, max]`,
+    /// re-evaluating every `window` requests against a target EBUSY-rate
+    /// band `[target_lo, target_hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window, inverted bounds, or an invalid band.
+    pub fn new(
+        initial: Duration,
+        min: Duration,
+        max: Duration,
+        window: u32,
+        target_lo: f64,
+        target_hi: f64,
+    ) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        assert!(min <= max, "min deadline above max");
+        assert!(
+            (0.0..=1.0).contains(&target_lo) && target_lo < target_hi && target_hi <= 1.0,
+            "invalid target band"
+        );
+        DeadlineTuner {
+            deadline: initial.max(min).min(max),
+            min,
+            max,
+            window,
+            target_lo,
+            target_hi,
+            busy_in_window: 0,
+            seen_in_window: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// A tuner aiming for a ~2-8% EBUSY rate (the p95-deadline sweet spot
+    /// the paper uses), bounded to [1ms, 100ms], adjusting every 50
+    /// requests so a badly mis-set initial deadline recovers quickly.
+    pub fn default_p95(initial: Duration) -> Self {
+        DeadlineTuner::new(
+            initial,
+            Duration::from_millis(1),
+            Duration::from_millis(100),
+            50,
+            0.02,
+            0.08,
+        )
+    }
+
+    /// The deadline to attach to the next request.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Number of adjustments made so far.
+    pub fn adjustments(&self) -> u32 {
+        self.adjustments
+    }
+
+    /// Records one request outcome; returns the new deadline if the window
+    /// closed and the deadline changed.
+    pub fn record(&mut self, was_busy: bool) -> Option<Duration> {
+        self.seen_in_window += 1;
+        if was_busy {
+            self.busy_in_window += 1;
+        }
+        if self.seen_in_window < self.window {
+            return None;
+        }
+        let rate = f64::from(self.busy_in_window) / f64::from(self.seen_in_window);
+        self.seen_in_window = 0;
+        self.busy_in_window = 0;
+        let old = self.deadline;
+        if rate > self.target_hi {
+            // Too many rejections: the deadline is too strict. Relax.
+            self.deadline = self.deadline.mul_f64(1.25).min(self.max);
+        } else if rate < self.target_lo {
+            // EBUSY almost never fires: tighten to catch more of the tail.
+            self.deadline = self.deadline.mul_f64(0.9).max(self.min);
+        }
+        if self.deadline != old {
+            self.adjustments += 1;
+            Some(self.deadline)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuner() -> DeadlineTuner {
+        DeadlineTuner::new(
+            Duration::from_millis(10),
+            Duration::from_millis(1),
+            Duration::from_millis(100),
+            10,
+            0.02,
+            0.2,
+        )
+    }
+
+    #[test]
+    fn high_busy_rate_relaxes_deadline() {
+        let mut t = tuner();
+        let mut changed = None;
+        for _ in 0..10 {
+            changed = t.record(true).or(changed);
+        }
+        assert_eq!(changed, Some(Duration::from_millis(10).mul_f64(1.25)));
+        assert_eq!(t.adjustments(), 1);
+    }
+
+    #[test]
+    fn zero_busy_rate_tightens_deadline() {
+        let mut t = tuner();
+        for _ in 0..9 {
+            assert!(t.record(false).is_none());
+        }
+        let new = t.record(false);
+        assert_eq!(new, Some(Duration::from_millis(9)));
+    }
+
+    #[test]
+    fn in_band_rate_holds_steady() {
+        let mut t = tuner();
+        // 1 busy out of 10 = 10%, inside [2%, 20%].
+        t.record(true);
+        for _ in 0..9 {
+            assert!(t.record(false).is_none());
+        }
+        assert_eq!(t.deadline(), Duration::from_millis(10));
+        assert_eq!(t.adjustments(), 0);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut t = DeadlineTuner::new(
+            Duration::from_millis(2),
+            Duration::from_millis(2),
+            Duration::from_millis(3),
+            2,
+            0.4,
+            0.6,
+        );
+        // Drive down: clamped at min.
+        for _ in 0..20 {
+            t.record(false);
+        }
+        assert_eq!(t.deadline(), Duration::from_millis(2));
+        // Drive up: clamped at max.
+        for _ in 0..40 {
+            t.record(true);
+        }
+        assert_eq!(t.deadline(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn window_resets_between_evaluations() {
+        let mut t = tuner();
+        for i in 0..35 {
+            let _ = t.record(i % 10 == 0);
+        }
+        // Rates per window: 10%, 10%, 10% -> no change; partial window
+        // pending.
+        assert_eq!(t.deadline(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the MittOS predictors.
+
+use proptest::prelude::*;
+
+use mitt_device::{BlockIo, DiskSpec, IoClass, IoIdGen, ProcessId, SsdSpec, GB};
+use mitt_sim::{Duration, SimTime};
+use mittos::{decide, DiskProfile, MittCfq, MittNoop, MittSsd, Slo, SsdProfile, DEFAULT_HOP};
+
+fn profile() -> DiskProfile {
+    DiskProfile::from_spec(&DiskSpec::default())
+}
+
+proptest! {
+    /// MittNoop account/complete with exact feedback returns the mirror to
+    /// its starting state: predicted backlog fully drains.
+    #[test]
+    fn mittnoop_mirror_drains(offsets in prop::collection::vec(0u64..999, 1..60)) {
+        let mut mitt = MittNoop::new(profile(), DEFAULT_HOP);
+        let mut ids = IoIdGen::new();
+        let now = SimTime::ZERO;
+        let mut admitted = Vec::new();
+        for &off in &offsets {
+            let io = BlockIo::read(ids.next_id(), off * GB, 4096, ProcessId(0), now);
+            let before = mitt.predicted_wait(now);
+            mitt.account(&io, now);
+            let after = mitt.predicted_wait(now);
+            // Wait grows by exactly the predicted service.
+            admitted.push((io.id, after - before));
+        }
+        // Complete each with the exact predicted service: diffs are zero,
+        // so the mirror's final free time equals the sum of services.
+        let total: Duration = admitted.iter().map(|&(_, s)| s).sum();
+        for (id, service) in admitted {
+            mitt.on_complete(id, service);
+        }
+        prop_assert_eq!(mitt.predicted_wait(now), total);
+        // And after that much time passes, the disk is predicted free.
+        prop_assert_eq!(mitt.predicted_wait(now + total), Duration::ZERO);
+    }
+
+    /// Rejection is monotone in the deadline: if a wait rejects deadline
+    /// D, it rejects every deadline smaller than D.
+    #[test]
+    fn rejection_monotone_in_deadline(wait_us in 0u64..100_000, d_us in 1u64..100_000) {
+        let wait = Duration::from_micros(wait_us);
+        let d = Duration::from_micros(d_us);
+        let rejected = !decide(wait, Some(Slo::deadline(d)), DEFAULT_HOP).is_admit();
+        if rejected {
+            for frac in [0.75, 0.5, 0.25] {
+                let smaller = d.mul_f64(frac);
+                prop_assert!(
+                    !decide(wait, Some(Slo::deadline(smaller)), DEFAULT_HOP).is_admit(),
+                    "rejected at {d} but admitted at {smaller}"
+                );
+            }
+        }
+    }
+
+    /// MittCFQ: cancelling everything restores a zero-wait mirror for all
+    /// classes.
+    #[test]
+    fn mittcfq_cancel_all_restores_zero(
+        ios in prop::collection::vec((0u64..999, 0u32..4, 0u8..8), 1..50)
+    ) {
+        let mut mitt = MittCfq::new(profile(), DEFAULT_HOP);
+        let mut ids = IoIdGen::new();
+        let now = SimTime::ZERO;
+        let mut all = Vec::new();
+        for &(off, pid, prio) in &ios {
+            let io = BlockIo::read(ids.next_id(), off * GB, 4096, ProcessId(pid), now)
+                .with_ionice(IoClass::BestEffort, prio);
+            all.push(io.id);
+            mitt.account(&io, now);
+        }
+        for id in all {
+            mitt.on_cancel(id);
+        }
+        prop_assert_eq!(mitt.active_nodes(), 0);
+        for prio in 0..8 {
+            let w = mitt.predicted_wait(IoClass::BestEffort, prio, ProcessId(0), now);
+            prop_assert_eq!(w, Duration::ZERO);
+        }
+    }
+
+    /// MittCFQ wait is monotone in urgency: a more urgent IO never
+    /// predicts a longer wait than a less urgent one from the same
+    /// process.
+    #[test]
+    fn mittcfq_wait_monotone_in_priority(
+        ios in prop::collection::vec((0u64..999, 0u32..4, 0u8..3, 0u8..8), 1..50)
+    ) {
+        let mut mitt = MittCfq::new(profile(), DEFAULT_HOP);
+        let mut ids = IoIdGen::new();
+        let now = SimTime::ZERO;
+        for &(off, pid, class_idx, prio) in &ios {
+            let class = match class_idx {
+                0 => IoClass::RealTime,
+                1 => IoClass::BestEffort,
+                _ => IoClass::Idle,
+            };
+            let io = BlockIo::read(ids.next_id(), off * GB, 4096, ProcessId(pid), now)
+                .with_ionice(class, prio);
+            mitt.account(&io, now);
+        }
+        let probe = ProcessId(77);
+        let mut last = Duration::ZERO;
+        for prio in 0..8 {
+            let w = mitt.predicted_wait(IoClass::BestEffort, prio, probe, now);
+            prop_assert!(w >= last, "wait decreased as priority loosened");
+            last = w;
+        }
+        let rt = mitt.predicted_wait(IoClass::RealTime, 7, probe, now);
+        let be = mitt.predicted_wait(IoClass::BestEffort, 0, probe, now);
+        let idle = mitt.predicted_wait(IoClass::Idle, 0, probe, now);
+        prop_assert!(rt <= be || be == Duration::ZERO);
+        prop_assert!(be <= idle || idle == Duration::ZERO);
+    }
+
+    /// MittSSD: rejected requests leave the chip mirrors untouched.
+    #[test]
+    fn mittssd_reject_has_no_side_effects(lpns in prop::collection::vec(0u64..512, 1..30)) {
+        let spec = SsdSpec {
+            jitter: 0.0,
+            retry_prob: 0.0,
+            gc_every_writes: 0,
+            ..SsdSpec::default()
+        };
+        let mut mitt = MittSsd::new(&spec, SsdProfile::from_spec(&spec), DEFAULT_HOP);
+        let mut ids = IoIdGen::new();
+        let now = SimTime::ZERO;
+        // Busy one chip hard so reads to it get rejected.
+        mitt.on_gc(0, Duration::from_millis(50), now);
+        for &lpn in &lpns {
+            let io = BlockIo::read(
+                ids.next_id(),
+                lpn * u64::from(spec.page_size),
+                4096,
+                ProcessId(0),
+                now,
+            )
+            .with_deadline(Duration::from_micros(200));
+            let chip = spec.chip_of_page(lpn);
+            let probe = BlockIo::read(ids.next_id(), lpn * u64::from(spec.page_size), 4096, ProcessId(0), now);
+            let before = mitt.predicted_wait(&probe, now);
+            let d = mitt.admit(&io, now);
+            if !d.is_admit() {
+                let after = mitt.predicted_wait(&probe, now);
+                prop_assert_eq!(before, after, "rejected IO changed chip {} mirror", chip);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared block-IO request types.
+//!
+//! Every layer of the stack — schedulers, devices, the MittOS predictors,
+//! and the cluster — exchanges [`BlockIo`] descriptors. The descriptor
+//! carries the fields the paper's kernel code attaches to a request: owner
+//! process (for CFQ grouping), IO class and priority (ionice), and the
+//! optional SLO deadline that MittOS propagates down the stack.
+
+use mitt_sim::{Duration, SimTime};
+
+/// Unique identifier of a block IO request within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IoId(pub u64);
+
+/// Identifier of the submitting process, used by CFQ for per-process
+/// queueing and fair time slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// Direction of a block IO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Data read from the medium.
+    Read,
+    /// Data written to the medium.
+    Write,
+}
+
+/// CFQ scheduling class, mirroring `ionice`'s idle/best-effort/realtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IoClass {
+    /// Served before everything else.
+    RealTime,
+    /// The default class.
+    BestEffort,
+    /// Served only when no other class has pending IO.
+    Idle,
+}
+
+/// A block-layer IO request descriptor.
+#[derive(Debug, Clone)]
+pub struct BlockIo {
+    /// Unique request id.
+    pub id: IoId,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Submitting process (CFQ queueing key).
+    pub owner: ProcessId,
+    /// ionice class.
+    pub class: IoClass,
+    /// ionice priority level within the class, 0 (highest) ..= 7 (lowest).
+    pub priority: u8,
+    /// Optional SLO deadline carried down the stack by MittOS
+    /// (`read(..., deadline)` in the paper). `None` means a plain POSIX IO.
+    pub deadline: Option<Duration>,
+    /// Time the request entered the block layer.
+    pub submit: SimTime,
+}
+
+impl BlockIo {
+    /// Creates a best-effort, priority-4 read — the common case for the
+    /// key-value workloads in the paper.
+    pub fn read(id: IoId, offset: u64, len: u32, owner: ProcessId, submit: SimTime) -> Self {
+        BlockIo {
+            id,
+            offset,
+            len,
+            kind: IoKind::Read,
+            owner,
+            class: IoClass::BestEffort,
+            priority: 4,
+            deadline: None,
+            submit,
+        }
+    }
+
+    /// Creates a best-effort, priority-4 write.
+    pub fn write(id: IoId, offset: u64, len: u32, owner: ProcessId, submit: SimTime) -> Self {
+        BlockIo {
+            kind: IoKind::Write,
+            ..BlockIo::read(id, offset, len, owner, submit)
+        }
+    }
+
+    /// Sets the ionice class and priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority > 7`.
+    pub fn with_ionice(mut self, class: IoClass, priority: u8) -> Self {
+        assert!(priority <= 7, "ionice priority must be 0..=7");
+        self.class = class;
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches an SLO deadline (the `read(..., slo)` extra argument).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Exclusive end offset of the request.
+    pub fn end_offset(&self) -> u64 {
+        self.offset + u64::from(self.len)
+    }
+
+    /// True for reads.
+    pub fn is_read(&self) -> bool {
+        self.kind == IoKind::Read
+    }
+}
+
+/// Monotonic generator of [`IoId`]s.
+#[derive(Debug, Default)]
+pub struct IoIdGen {
+    next: u64,
+}
+
+impl IoIdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn next_id(&mut self) -> IoId {
+        let id = IoId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let io = BlockIo::read(IoId(1), 4096, 1024, ProcessId(7), SimTime::ZERO)
+            .with_ionice(IoClass::RealTime, 0)
+            .with_deadline(Duration::from_millis(20));
+        assert!(io.is_read());
+        assert_eq!(io.end_offset(), 5120);
+        assert_eq!(io.class, IoClass::RealTime);
+        assert_eq!(io.priority, 0);
+        assert_eq!(io.deadline, Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn write_builder_flips_kind() {
+        let io = BlockIo::write(IoId(2), 0, 512, ProcessId(1), SimTime::ZERO);
+        assert_eq!(io.kind, IoKind::Write);
+        assert!(!io.is_read());
+    }
+
+    #[test]
+    #[should_panic(expected = "ionice priority")]
+    fn bad_priority_rejected() {
+        let _ = BlockIo::read(IoId(0), 0, 1, ProcessId(0), SimTime::ZERO)
+            .with_ionice(IoClass::BestEffort, 8);
+    }
+
+    #[test]
+    fn id_gen_is_monotonic() {
+        let mut g = IoIdGen::new();
+        let a = g.next_id();
+        let b = g.next_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn class_ordering_matches_cfq_service_order() {
+        assert!(IoClass::RealTime < IoClass::BestEffort);
+        assert!(IoClass::BestEffort < IoClass::Idle);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the device models.
+
+use proptest::prelude::*;
+
+use mitt_device::{BlockIo, Disk, DiskSpec, IoIdGen, ProcessId, Ssd, SsdSpec, GB};
+use mitt_sim::{Duration, SimRng, SimTime};
+
+proptest! {
+    /// The disk never loses or duplicates IOs: everything submitted
+    /// completes exactly once, in SSTF order but without starvation of the
+    /// finite batch.
+    #[test]
+    fn disk_conserves_ios(offsets in prop::collection::vec(0u64..999, 1..40), seed in any::<u64>()) {
+        let mut disk = Disk::new(DiskSpec::default(), SimRng::new(seed));
+        let mut ids = IoIdGen::new();
+        let mut tick = None;
+        let mut submitted = 0usize;
+        for &off in &offsets {
+            if !disk.has_room() {
+                break;
+            }
+            let io = BlockIo::read(ids.next_id(), off * GB, 4096, ProcessId(0), SimTime::ZERO);
+            let started = disk.submit(io, SimTime::ZERO).expect("has room");
+            tick = tick.or(started);
+            submitted += 1;
+        }
+        let mut done = std::collections::HashSet::new();
+        let mut now;
+        let mut cur = tick.expect("at least one IO started");
+        loop {
+            now = cur.done_at;
+            let (fin, next) = disk.complete(now);
+            prop_assert!(done.insert(fin.io.id), "duplicate completion");
+            match next {
+                Some(n) => cur = n,
+                None => break,
+            }
+        }
+        prop_assert_eq!(done.len(), submitted);
+        prop_assert!(disk.is_idle());
+    }
+
+    /// Service times respect the analytic bounds of the model:
+    /// cmd <= service <= cmd + max seek + max rot + transfer.
+    #[test]
+    fn disk_service_time_bounds(from in 0u64..999, to in 0u64..999, seed in any::<u64>()) {
+        let spec = DiskSpec::default();
+        let mut disk = Disk::new(spec.clone(), SimRng::new(seed));
+        let mut ids = IoIdGen::new();
+        // Park the head at `from`.
+        let park = BlockIo::read(ids.next_id(), from * GB, 0, ProcessId(0), SimTime::ZERO);
+        let s = disk.submit(park, SimTime::ZERO).unwrap().unwrap();
+        let (_, _) = disk.complete(s.done_at);
+        let io = BlockIo::read(ids.next_id(), to * GB, 4096, ProcessId(0), s.done_at);
+        let s2 = disk.submit(io, s.done_at).unwrap().unwrap();
+        let (fin, _) = disk.complete(s2.done_at);
+        let lo = spec.cmd_overhead + spec.seek_cost(disk.spec().capacity.min(from * GB), to * GB)
+            + spec.transfer_cost(4096);
+        let hi = lo + spec.rot_max;
+        // The head after the park IO is at from*GB (len 0), so seek cost is
+        // exactly seek_cost(from, to).
+        prop_assert!(fin.service >= lo.saturating_sub(Duration::from_nanos(1)));
+        prop_assert!(fin.service <= hi);
+    }
+
+    /// SSD sub-IO completions per chip are nondecreasing: a chip never
+    /// finishes a later-submitted page before an earlier one.
+    #[test]
+    fn ssd_chip_completions_are_fifo(lpns in prop::collection::vec(0u64..2048, 1..100), seed in any::<u64>()) {
+        let spec = SsdSpec {
+            jitter: 0.0,
+            retry_prob: 0.0,
+            gc_every_writes: 0,
+            ..SsdSpec::default()
+        };
+        let mut ssd = Ssd::new(spec.clone(), SimRng::new(seed));
+        let mut ids = IoIdGen::new();
+        let mut last_per_chip = std::collections::HashMap::new();
+        for &lpn in &lpns {
+            let io = BlockIo::read(
+                ids.next_id(),
+                lpn * u64::from(spec.page_size),
+                4096,
+                ProcessId(0),
+                SimTime::ZERO,
+            );
+            let out = ssd.submit(&io, SimTime::ZERO);
+            for sub in &out.subs {
+                let prev = last_per_chip.insert(sub.chip, sub.done_at);
+                if let Some(p) = prev {
+                    prop_assert!(sub.done_at >= p, "chip {} went backwards", sub.chip);
+                }
+            }
+        }
+    }
+
+    /// Striping covers the right page count for any offset/len.
+    #[test]
+    fn ssd_stripe_covers_request(offset in 0u64..(1 << 30), len in 1u32..(1 << 20)) {
+        let spec = SsdSpec {
+            jitter: 0.0,
+            retry_prob: 0.0,
+            gc_every_writes: 0,
+            ..SsdSpec::default()
+        };
+        let mut ssd = Ssd::new(spec.clone(), SimRng::new(1));
+        let mut ids = IoIdGen::new();
+        let io = BlockIo::read(ids.next_id(), offset, len, ProcessId(0), SimTime::ZERO);
+        let out = ssd.submit(&io, SimTime::ZERO);
+        let ps = u64::from(spec.page_size);
+        let expected = (offset + u64::from(len) - 1) / ps - offset / ps + 1;
+        prop_assert_eq!(out.subs.len() as u64, expected);
+    }
+
+    /// The MLC program pattern only ever yields the two profiled times.
+    #[test]
+    fn prog_time_is_bimodal(page in 0u32..512) {
+        let spec = SsdSpec::default();
+        let t = spec.prog_time(page);
+        prop_assert!(t == spec.prog_fast || t == spec.prog_slow);
+    }
+}

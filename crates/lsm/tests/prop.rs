@@ -1,0 +1,92 @@
+//! Property-based tests for the LSM engine.
+
+use proptest::prelude::*;
+
+use mitt_lsm::{GetStep, LsmConfig, LsmEngine};
+
+fn cfg(levels: u8, ratio: usize, keyspace: u64) -> LsmConfig {
+    LsmConfig {
+        levels,
+        level_ratio: ratio,
+        keyspace,
+        memtable_budget: 64 * 1024,
+        table_size: 256 * 1024,
+        table_cache_capacity: 8,
+        ..LsmConfig::default()
+    }
+}
+
+proptest! {
+    /// Every key in the keyspace is found, and the found-read is always
+    /// the final step of the plan.
+    #[test]
+    fn every_key_is_found(
+        levels in 1u8..3,
+        ratio in 2usize..6,
+        keyspace in 1000u64..50_000,
+        keys in prop::collection::vec(0u64..50_000, 1..50),
+    ) {
+        let mut e = LsmEngine::preloaded(cfg(levels, ratio, keyspace));
+        for &k in keys.iter().filter(|&&k| k < keyspace) {
+            let plan = e.get_plan(k);
+            prop_assert!(plan.found, "key {k} missing");
+            match plan.steps.last() {
+                Some(GetStep::MemtableHit) => {}
+                Some(GetStep::DataRead { found, .. }) => prop_assert!(found),
+                other => prop_assert!(false, "bad final step {other:?}"),
+            }
+        }
+    }
+
+    /// Reads after arbitrary writes still find every written key, through
+    /// flushes and compactions.
+    #[test]
+    fn writes_remain_readable(
+        writes in prop::collection::vec(0u64..10_000, 1..400),
+        read_sample in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+    ) {
+        let mut e = LsmEngine::preloaded(cfg(2, 4, 10_000));
+        for &k in &writes {
+            e.put(k, 512);
+            let _ = e.maybe_compact();
+        }
+        for idx in read_sample {
+            let k = writes[idx.index(writes.len())];
+            let plan = e.get_plan(k);
+            prop_assert!(plan.found, "written key {k} lost");
+        }
+    }
+
+    /// All planned IOs stay inside the engine's device region.
+    #[test]
+    fn planned_ios_stay_in_region(keys in prop::collection::vec(0u64..10_000, 1..100)) {
+        let c = cfg(2, 4, 10_000);
+        let lo = c.region_offset;
+        let hi = c.region_offset + c.region_size;
+        let mut e = LsmEngine::preloaded(c);
+        for &k in &keys {
+            for step in e.get_plan(k).steps {
+                match step {
+                    GetStep::MemtableHit => {}
+                    GetStep::IndexRead { offset, len, .. }
+                    | GetStep::DataRead { offset, len, .. } => {
+                        prop_assert!(offset >= lo && offset + u64::from(len) <= hi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compaction keeps L0 bounded no matter the write pattern.
+    #[test]
+    fn l0_stays_bounded(writes in prop::collection::vec(0u64..10_000, 1..2000)) {
+        let c = cfg(2, 4, 10_000);
+        let trigger = c.l0_trigger;
+        let mut e = LsmEngine::preloaded(c);
+        for &k in &writes {
+            e.put(k, 256);
+            while e.maybe_compact().is_some() {}
+            prop_assert!(e.tables_at_level(0) < trigger);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The CFQ scheduler: service trees, per-process queues, weighted
+//! round-robin slices (§4.2).
+//!
+//! Structure mirrors the paper's description of Linux CFQ: three service
+//! trees (RealTime, BestEffort, Idle); per-process nodes inside each tree;
+//! inside each node a queue of pending IOs sorted by on-disk offset. CFQ
+//! always serves the RealTime tree first, then BestEffort, then Idle; within
+//! a tree it round-robins across nodes with slices proportional to ionice
+//! priority. Dispatched IOs move to the device queue (bounded by
+//! [`CfqConfig::max_device_ios`]) and become invisible/uncancellable.
+//!
+//! Because higher classes preempt lower ones at every dispatch decision, an
+//! accepted BestEffort IO can be "bumped to the back" by a later RealTime
+//! burst — the exact hazard that forces MittCFQ to re-check accepted IOs
+//! via its tolerable-time table.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use mitt_device::{BlockIo, Disk, FinishedIo, IoClass, IoId, ProcessId};
+use mitt_sim::SimTime;
+
+use crate::{DiskScheduler, DispatchOut};
+
+/// Tuning knobs for CFQ.
+#[derive(Debug, Clone)]
+pub struct CfqConfig {
+    /// Slice credit units per priority step: a node's slice is
+    /// `base_quantum * (8 - priority)` IOs.
+    pub base_quantum: u32,
+    /// Maximum IOs the scheduler keeps inside the device (Linux
+    /// `cfq_quantum`). Small values preserve priority enforcement; large
+    /// values hand ordering control to the device's SSTF.
+    pub max_device_ios: usize,
+}
+
+impl Default for CfqConfig {
+    fn default() -> Self {
+        CfqConfig {
+            base_quantum: 2,
+            max_device_ios: 2,
+        }
+    }
+}
+
+fn class_idx(class: IoClass) -> usize {
+    match class {
+        IoClass::RealTime => 0,
+        IoClass::BestEffort => 1,
+        IoClass::Idle => 2,
+    }
+}
+
+struct Node {
+    queue: BTreeMap<(u64, IoId), BlockIo>,
+    credit: i64,
+    priority: u8,
+}
+
+#[derive(Default)]
+struct Tree {
+    nodes: HashMap<ProcessId, Node>,
+    rr: VecDeque<ProcessId>,
+}
+
+impl Tree {
+    fn pending(&self) -> usize {
+        self.nodes.values().map(|n| n.queue.len()).sum()
+    }
+}
+
+/// The CFQ scheduler.
+pub struct Cfq {
+    cfg: CfqConfig,
+    trees: [Tree; 3],
+    /// IoId -> (tree index, owner, offset): exact location for O(1) cancel.
+    index: HashMap<IoId, (usize, ProcessId, u64)>,
+    in_device: usize,
+}
+
+impl Cfq {
+    /// Creates a CFQ scheduler with the given config.
+    pub fn new(cfg: CfqConfig) -> Self {
+        Cfq {
+            cfg,
+            trees: Default::default(),
+            index: HashMap::new(),
+            in_device: 0,
+        }
+    }
+
+    /// Creates a CFQ scheduler with default tuning.
+    pub fn with_defaults() -> Self {
+        Cfq::new(CfqConfig::default())
+    }
+
+    fn quantum(&self, priority: u8) -> i64 {
+        i64::from(self.cfg.base_quantum) * i64::from(8 - priority)
+    }
+
+    /// Picks the next IO to dispatch according to CFQ policy, or `None` if
+    /// all trees are empty.
+    fn pick(&mut self) -> Option<BlockIo> {
+        let quantum_base = self.cfg.base_quantum;
+        for tree in &mut self.trees {
+            while let Some(&pid) = tree.rr.front() {
+                let node = tree.nodes.get_mut(&pid).expect("rr entry has node");
+                if node.queue.is_empty() {
+                    tree.rr.pop_front();
+                    tree.nodes.remove(&pid);
+                    continue;
+                }
+                let key = *node.queue.keys().next().expect("non-empty queue");
+                let io = node.queue.remove(&key).expect("key just read");
+                node.credit -= 1;
+                if node.credit <= 0 {
+                    // Slice used up: refresh credit and rotate to the back.
+                    node.credit = i64::from(quantum_base) * i64::from(8 - node.priority);
+                    tree.rr.pop_front();
+                    if node.queue.is_empty() {
+                        tree.nodes.remove(&pid);
+                    } else {
+                        tree.rr.push_back(pid);
+                    }
+                } else if node.queue.is_empty() {
+                    tree.rr.pop_front();
+                    tree.nodes.remove(&pid);
+                }
+                return Some(io);
+            }
+        }
+        None
+    }
+
+    fn dispatch(&mut self, disk: &mut Disk, now: SimTime) -> DispatchOut {
+        let mut out = DispatchOut::default();
+        while disk.has_room() && self.in_device < self.cfg.max_device_ios {
+            let Some(io) = self.pick() else {
+                break;
+            };
+            self.index.remove(&io.id);
+            out.dispatched.push(io.id);
+            match disk.submit(io, now) {
+                Ok(s) => {
+                    self.in_device += 1;
+                    out.started = out.started.or(s);
+                }
+                Err(_) => unreachable!("has_room() checked before submit"),
+            }
+        }
+        out
+    }
+
+    /// Pending IOs per process in a given class tree, exposed so tests and
+    /// audits can inspect fairness.
+    pub fn pending_of(&self, class: IoClass, pid: ProcessId) -> usize {
+        self.trees[class_idx(class)]
+            .nodes
+            .get(&pid)
+            .map_or(0, |n| n.queue.len())
+    }
+
+    /// IOs this scheduler currently has inside the device.
+    pub fn in_device(&self) -> usize {
+        self.in_device
+    }
+}
+
+impl DiskScheduler for Cfq {
+    fn enqueue(&mut self, io: BlockIo, disk: &mut Disk, now: SimTime) -> DispatchOut {
+        let t = class_idx(io.class);
+        self.index.insert(io.id, (t, io.owner, io.offset));
+        let quantum = self.quantum(io.priority);
+        let tree = &mut self.trees[t];
+        let node = tree.nodes.entry(io.owner).or_insert_with(|| {
+            tree.rr.push_back(io.owner);
+            Node {
+                queue: BTreeMap::new(),
+                credit: quantum,
+                priority: io.priority,
+            }
+        });
+        // ionice changes apply to subsequent slices.
+        node.priority = io.priority;
+        node.queue.insert((io.offset, io.id), io);
+        self.dispatch(disk, now)
+    }
+
+    fn on_complete(&mut self, disk: &mut Disk, now: SimTime) -> (FinishedIo, DispatchOut) {
+        let (finished, started) = disk.complete(now);
+        debug_assert!(self.in_device > 0, "completion without dispatched IO");
+        self.in_device = self.in_device.saturating_sub(1);
+        let mut out = self.dispatch(disk, now);
+        out.started = started.or(out.started);
+        (finished, out)
+    }
+
+    fn cancel(&mut self, id: IoId) -> Option<BlockIo> {
+        let (t, pid, offset) = self.index.remove(&id)?;
+        let tree = &mut self.trees[t];
+        let node = tree.nodes.get_mut(&pid)?;
+        let io = node.queue.remove(&(offset, id));
+        if node.queue.is_empty() {
+            tree.nodes.remove(&pid);
+            tree.rr.retain(|&p| p != pid);
+        }
+        io
+    }
+
+    fn queued(&self) -> usize {
+        self.trees.iter().map(Tree::pending).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "cfq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitt_device::{DiskSpec, IoIdGen, Started};
+    use mitt_sim::SimRng;
+
+    fn disk() -> Disk {
+        Disk::new(
+            DiskSpec {
+                queue_depth: 8,
+                ..DiskSpec::default()
+            },
+            SimRng::new(1),
+        )
+    }
+
+    fn io(g: &mut IoIdGen, pid: u32, offset: u64, class: IoClass, prio: u8) -> BlockIo {
+        BlockIo::read(g.next_id(), offset, 4096, ProcessId(pid), SimTime::ZERO)
+            .with_ionice(class, prio)
+    }
+
+    /// Drains the whole system, returning completion order of IO ids.
+    fn drain(sched: &mut Cfq, disk: &mut Disk, first: Option<Started>) -> Vec<IoId> {
+        let mut order = Vec::new();
+        let mut tick = first;
+        while let Some(s) = tick {
+            let (fin, next) = sched.on_complete(disk, s.done_at);
+            order.push(fin.io.id);
+            tick = next.started;
+        }
+        order
+    }
+
+    #[test]
+    fn realtime_served_before_best_effort() {
+        let mut sched = Cfq::new(CfqConfig {
+            base_quantum: 2,
+            max_device_ios: 1,
+        });
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        // One BE IO starts (device idle), then queue 2 BE + 2 RT.
+        let s = sched.enqueue(
+            io(&mut g, 1, 0, IoClass::BestEffort, 4),
+            &mut d,
+            SimTime::ZERO,
+        );
+        for off in [100, 200] {
+            sched.enqueue(
+                io(&mut g, 1, off, IoClass::BestEffort, 4),
+                &mut d,
+                SimTime::ZERO,
+            );
+        }
+        let rt_a = io(&mut g, 2, 300, IoClass::RealTime, 4); // id 3
+        let rt_b = io(&mut g, 2, 400, IoClass::RealTime, 4); // id 4
+        sched.enqueue(rt_a, &mut d, SimTime::ZERO);
+        sched.enqueue(rt_b, &mut d, SimTime::ZERO);
+        let order = drain(&mut sched, &mut d, s.started);
+        // After the in-flight BE IO, both RT IOs must be served before the
+        // remaining BE ones.
+        assert_eq!(order[0], IoId(0));
+        assert_eq!(&order[1..3], &[IoId(3), IoId(4)]);
+    }
+
+    #[test]
+    fn idle_class_served_last() {
+        let mut sched = Cfq::new(CfqConfig {
+            base_quantum: 2,
+            max_device_ios: 1,
+        });
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        let s = sched.enqueue(io(&mut g, 1, 0, IoClass::Idle, 4), &mut d, SimTime::ZERO);
+        sched.enqueue(io(&mut g, 1, 50, IoClass::Idle, 4), &mut d, SimTime::ZERO);
+        sched.enqueue(
+            io(&mut g, 2, 100, IoClass::BestEffort, 4),
+            &mut d,
+            SimTime::ZERO,
+        );
+        let order = drain(&mut sched, &mut d, s.started);
+        assert_eq!(order, vec![IoId(0), IoId(2), IoId(1)]);
+    }
+
+    #[test]
+    fn priority_weights_round_robin_shares() {
+        // Process 1 at priority 0 (slice 16), process 2 at priority 7
+        // (slice 2): in the first 18 dispatches after the initial IO,
+        // process 1 should get 16 and process 2 only 2.
+        let mut sched = Cfq::new(CfqConfig {
+            base_quantum: 2,
+            max_device_ios: 1,
+        });
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        let mut first = None;
+        for i in 0..20u64 {
+            let s = sched.enqueue(
+                io(&mut g, 1, i * 10, IoClass::BestEffort, 0),
+                &mut d,
+                SimTime::ZERO,
+            );
+            first = first.or(s.started);
+        }
+        for i in 0..20u64 {
+            sched.enqueue(
+                io(&mut g, 2, 100_000 + i * 10, IoClass::BestEffort, 7),
+                &mut d,
+                SimTime::ZERO,
+            );
+        }
+        let order = drain(&mut sched, &mut d, first);
+        assert_eq!(order.len(), 40);
+        let p1_in_first_18 = order[1..19].iter().filter(|id| id.0 < 20).count();
+        assert_eq!(p1_in_first_18, 16, "order: {order:?}");
+    }
+
+    #[test]
+    fn within_node_ios_dispatch_by_offset() {
+        let mut sched = Cfq::new(CfqConfig {
+            base_quantum: 8,
+            max_device_ios: 1,
+        });
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        let s = sched.enqueue(
+            io(&mut g, 1, 0, IoClass::BestEffort, 4),
+            &mut d,
+            SimTime::ZERO,
+        );
+        let high = io(&mut g, 1, 900, IoClass::BestEffort, 4); // id 1
+        let low = io(&mut g, 1, 100, IoClass::BestEffort, 4); // id 2
+        sched.enqueue(high, &mut d, SimTime::ZERO);
+        sched.enqueue(low, &mut d, SimTime::ZERO);
+        let order = drain(&mut sched, &mut d, s.started);
+        assert_eq!(order, vec![IoId(0), IoId(2), IoId(1)]);
+    }
+
+    #[test]
+    fn cancel_removes_queued_io_and_cleans_node() {
+        let mut sched = Cfq::new(CfqConfig {
+            base_quantum: 2,
+            max_device_ios: 1,
+        });
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        let s = sched.enqueue(
+            io(&mut g, 1, 0, IoClass::BestEffort, 4),
+            &mut d,
+            SimTime::ZERO,
+        );
+        sched.enqueue(
+            io(&mut g, 2, 10, IoClass::BestEffort, 4),
+            &mut d,
+            SimTime::ZERO,
+        );
+        assert_eq!(sched.queued(), 1);
+        assert_eq!(sched.cancel(IoId(1)).map(|io| io.id), Some(IoId(1)));
+        assert_eq!(sched.queued(), 0);
+        assert_eq!(sched.pending_of(IoClass::BestEffort, ProcessId(2)), 0);
+        // Dispatched IO cannot be cancelled.
+        assert!(sched.cancel(IoId(0)).is_none());
+        let order = drain(&mut sched, &mut d, s.started);
+        assert_eq!(order, vec![IoId(0)]);
+    }
+
+    #[test]
+    fn max_device_ios_bounds_dispatch() {
+        let mut sched = Cfq::new(CfqConfig {
+            base_quantum: 2,
+            max_device_ios: 2,
+        });
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        for i in 0..6u64 {
+            sched.enqueue(
+                io(&mut g, 1, i * 10, IoClass::BestEffort, 4),
+                &mut d,
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(sched.in_device(), 2);
+        assert_eq!(d.occupancy(), 2);
+        assert_eq!(sched.queued(), 4);
+    }
+
+    #[test]
+    fn drains_everything_across_classes() {
+        let mut sched = Cfq::with_defaults();
+        let mut d = disk();
+        let mut g = IoIdGen::new();
+        let mut first = None;
+        for i in 0..30u64 {
+            let class = match i % 3 {
+                0 => IoClass::RealTime,
+                1 => IoClass::BestEffort,
+                _ => IoClass::Idle,
+            };
+            let s = sched.enqueue(
+                io(&mut g, (i % 5) as u32, i * 777, class, (i % 8) as u8),
+                &mut d,
+                SimTime::ZERO,
+            );
+            first = first.or(s.started);
+        }
+        let order = drain(&mut sched, &mut d, first);
+        assert_eq!(order.len(), 30);
+        assert_eq!(sched.queued(), 0);
+        assert!(d.is_idle());
+    }
+}

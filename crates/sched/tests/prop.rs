@@ -1,0 +1,160 @@
+//! Property-based tests for the IO schedulers.
+
+use proptest::prelude::*;
+
+use mitt_device::{BlockIo, Disk, DiskSpec, IoClass, IoId, IoIdGen, ProcessId, GB};
+use mitt_sched::{Cfq, CfqConfig, DiskScheduler, Noop};
+use mitt_sim::{SimRng, SimTime};
+
+#[derive(Debug, Clone)]
+struct GenIo {
+    offset_gb: u64,
+    pid: u32,
+    class_idx: u8,
+    prio: u8,
+}
+
+fn gen_io() -> impl Strategy<Value = GenIo> {
+    (0u64..999, 0u32..6, 0u8..3, 0u8..8).prop_map(|(offset_gb, pid, class_idx, prio)| GenIo {
+        offset_gb,
+        pid,
+        class_idx,
+        prio,
+    })
+}
+
+fn class_of(idx: u8) -> IoClass {
+    match idx {
+        0 => IoClass::RealTime,
+        1 => IoClass::BestEffort,
+        _ => IoClass::Idle,
+    }
+}
+
+fn drain<S: DiskScheduler>(
+    sched: &mut S,
+    disk: &mut Disk,
+    first: Option<mitt_device::Started>,
+) -> Vec<IoId> {
+    let mut done = Vec::new();
+    let mut tick = first;
+    while let Some(s) = tick {
+        let (fin, out) = sched.on_complete(disk, s.done_at);
+        done.push(fin.io.id);
+        tick = out.started;
+    }
+    done
+}
+
+fn conservation<S: DiskScheduler>(
+    mut sched: S,
+    ios: Vec<GenIo>,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut disk = Disk::new(DiskSpec::default(), SimRng::new(seed));
+    let mut ids = IoIdGen::new();
+    let mut first = None;
+    let n = ios.len();
+    for g in ios {
+        let io = BlockIo::read(
+            ids.next_id(),
+            g.offset_gb * GB,
+            4096,
+            ProcessId(g.pid),
+            SimTime::ZERO,
+        )
+        .with_ionice(class_of(g.class_idx), g.prio);
+        let out = sched.enqueue(io, &mut disk, SimTime::ZERO);
+        first = first.or(out.started);
+    }
+    let done = drain(&mut sched, &mut disk, first);
+    prop_assert_eq!(done.len(), n, "every enqueued IO completes exactly once");
+    let unique: std::collections::HashSet<_> = done.iter().collect();
+    prop_assert_eq!(unique.len(), n, "no duplicates");
+    prop_assert_eq!(sched.queued(), 0);
+    prop_assert!(disk.is_idle());
+    Ok(())
+}
+
+proptest! {
+    /// Noop never loses or duplicates IOs.
+    #[test]
+    fn noop_conserves_ios(ios in prop::collection::vec(gen_io(), 1..120), seed in any::<u64>()) {
+        conservation(Noop::new(), ios, seed)?;
+    }
+
+    /// CFQ never loses or duplicates IOs across classes and priorities.
+    #[test]
+    fn cfq_conserves_ios(ios in prop::collection::vec(gen_io(), 1..120), seed in any::<u64>()) {
+        conservation(Cfq::new(CfqConfig::default()), ios, seed)?;
+    }
+
+    /// Cancelling arbitrary queued IOs removes exactly those IOs from the
+    /// completion stream.
+    #[test]
+    fn cfq_cancel_is_exact(
+        ios in prop::collection::vec(gen_io(), 4..80),
+        cancel_every in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut sched = Cfq::new(CfqConfig::default());
+        let mut disk = Disk::new(DiskSpec::default(), SimRng::new(seed));
+        let mut ids = IoIdGen::new();
+        let mut first = None;
+        let mut all = Vec::new();
+        for g in &ios {
+            let id = ids.next_id();
+            all.push(id);
+            let io = BlockIo::read(id, g.offset_gb * GB, 4096, ProcessId(g.pid), SimTime::ZERO)
+                .with_ionice(class_of(g.class_idx), g.prio);
+            let out = sched.enqueue(io, &mut disk, SimTime::ZERO);
+            first = first.or(out.started);
+        }
+        // Try to cancel every k-th IO; only still-queued ones succeed.
+        let mut cancelled = Vec::new();
+        for id in all.iter().step_by(cancel_every) {
+            if sched.cancel(*id).is_some() {
+                cancelled.push(*id);
+            }
+        }
+        let done = drain(&mut sched, &mut disk, first);
+        for c in &cancelled {
+            prop_assert!(!done.contains(c), "cancelled IO completed");
+        }
+        prop_assert_eq!(done.len() + cancelled.len(), ios.len());
+    }
+
+    /// With an always-backlogged BestEffort stream, every RealTime IO
+    /// completes before any Idle IO that was queued at the same time.
+    #[test]
+    fn cfq_rt_beats_idle(n in 1usize..20, seed in any::<u64>()) {
+        let mut sched = Cfq::new(CfqConfig { base_quantum: 2, max_device_ios: 1 });
+        let mut disk = Disk::new(DiskSpec::default(), SimRng::new(seed));
+        let mut ids = IoIdGen::new();
+        // One IO starts immediately (occupies the head), then n Idle and
+        // n RealTime arrive together.
+        let lead = BlockIo::read(ids.next_id(), 0, 4096, ProcessId(9), SimTime::ZERO);
+        let first = sched.enqueue(lead, &mut disk, SimTime::ZERO).started;
+        let mut idle_ids = Vec::new();
+        let mut rt_ids = Vec::new();
+        for i in 0..n {
+            let io = BlockIo::read(ids.next_id(), (i as u64) * GB, 4096, ProcessId(1), SimTime::ZERO)
+                .with_ionice(IoClass::Idle, 4);
+            idle_ids.push(io.id);
+            sched.enqueue(io, &mut disk, SimTime::ZERO);
+        }
+        for i in 0..n {
+            let io = BlockIo::read(ids.next_id(), (500 + i as u64) * GB, 4096, ProcessId(2), SimTime::ZERO)
+                .with_ionice(IoClass::RealTime, 4);
+            rt_ids.push(io.id);
+            sched.enqueue(io, &mut disk, SimTime::ZERO);
+        }
+        let done = drain(&mut sched, &mut disk, first);
+        let pos = |id: IoId| done.iter().position(|&d| d == id).expect("completed");
+        for &rt in &rt_ids {
+            for &idle in &idle_ids {
+                prop_assert!(pos(rt) < pos(idle), "RT IO served after Idle IO");
+            }
+        }
+    }
+}

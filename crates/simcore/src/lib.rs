@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulation core for the MittOS reproduction.
+//!
+//! Every other crate in this workspace — device models, IO schedulers, the
+//! MittOS predictors, and the replicated cluster — is a *passive* state
+//! machine driven by virtual time. This crate supplies the shared substrate:
+//!
+//! - [`SimTime`] / [`Duration`]: nanosecond-resolution virtual time.
+//! - [`EventQueue`]: the event calendar with a deterministic tie-break.
+//! - [`SimRng`]: a seedable, forkable xoshiro256** PRNG, plus the
+//!   distributions ([`dist`]) used by workload and noise generators.
+//! - [`LatencyRecorder`] and friends ([`stats`]): exact percentile/CDF
+//!   statistics matching how the paper reports results.
+//!
+//! Determinism is a hard requirement: given a seed, every experiment binary
+//! reproduces its figure bit-for-bit. Nothing in this crate reads the wall
+//! clock or ambient entropy.
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::Distribution;
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use stats::{reduction_pct, LatencyRecorder, OnlineStats, P2Quantile, TimeHistogram};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,240 @@
+//! The event calendar driving every simulation.
+//!
+//! [`EventQueue`] is a priority queue of `(time, event)` pairs. Ties on time
+//! are broken by insertion order (a monotonically increasing sequence
+//! number), which makes every simulation fully deterministic: two runs with
+//! the same seed schedule and pop events in exactly the same order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+/// Token identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we pop the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar with a virtual clock.
+///
+/// The queue owns the simulation clock: [`EventQueue::pop`] advances `now`
+/// to the timestamp of the event it returns. Scheduling an event in the past
+/// is a logic error and panics in debug builds; in release builds it is
+/// clamped to `now` to keep time monotonic.
+///
+/// # Examples
+///
+/// ```
+/// use mitt_sim::{Duration, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(Duration::from_millis(2), "b");
+/// q.schedule_in(Duration::from_millis(1), "a");
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.now().as_millis(), 1);
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` and returns a cancellation
+    /// token.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than the current time.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule(at, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is skipped when
+    /// reached. Cancelling an already-fired or unknown id is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Removes and returns the earliest live event, advancing the clock to
+    /// its timestamp. Returns `None` when the calendar is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries currently in the heap, including lazily cancelled
+    /// ones. Useful only as a rough size signal.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.events_delivered(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now().as_millis(), 7);
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.cancel(a);
+        q.schedule(SimTime::from_nanos(2), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_skips_cancelled_and_reports_next_time() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

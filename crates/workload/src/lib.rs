@@ -1,0 +1,39 @@
+//! Workload generation for the MittOS reproduction.
+//!
+//! - [`ycsb`]: the 1 KB key-value `get()` load the paper's clients issue,
+//!   with YCSB's zipfian key popularity and key→offset layout.
+//! - [`noise`]: the noisy-neighbor models of §6 — bursty, sub-second,
+//!   mostly-uncorrelated contention calibrated to Figure 3, plus the
+//!   deterministic 1-busy-2-free rotation of §7.8.3.
+//! - [`traces`]: synthetic stand-ins for the five Microsoft production
+//!   block traces used in the Figure 9 accuracy study.
+//! - [`macrobench`]: filebench-like personalities and a Hadoop-like job
+//!   stream for the Figure 11 colocation experiment.
+//!
+//! Everything samples through `mitt_sim::SimRng`, so workloads are
+//! deterministic per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use mitt_sim::{Duration, SimRng};
+//! use mitt_workload::{NoiseGen, YcsbConfig, YcsbGenerator};
+//!
+//! let gen = YcsbGenerator::new(YcsbConfig::default());
+//! let mut rng = SimRng::new(7);
+//! let op = gen.next_op(&mut rng);
+//! assert!(op.key() < gen.config().record_count);
+//!
+//! let noise = NoiseGen::ec2_disk();
+//! let bursts = noise.generate(Duration::from_secs(60), &mut rng);
+//! assert!(bursts.windows(2).all(|w| w[1].start >= w[0].end()));
+//! ```
+
+pub mod macrobench;
+pub mod noise;
+pub mod traces;
+pub mod ycsb;
+
+pub use noise::{busy_fraction, occupancy_histogram, rotating_schedule, NoiseBurst, NoiseGen};
+pub use traces::{TraceIo, TraceSpec};
+pub use ycsb::{KeyDist, KeyLayout, Op, YcsbConfig, YcsbGenerator};

@@ -1,0 +1,175 @@
+//! Macrobenchmark colocation load (§7.8.1, Figure 11).
+//!
+//! The paper colocates MittOS+MongoDB with filebench's fileserver, varmail
+//! and webserver personalities on different nodes, plus the first 50 Hadoop
+//! jobs of the Facebook 2010 benchmark. These produce heavier, more
+//! structured background load than the EC2 noise injector. We model each
+//! personality as an IO arrival process with its published character, and
+//! Hadoop as a stream of jobs, each a map phase of large sequential reads
+//! followed by a shuffle/reduce phase of large writes.
+
+use mitt_sim::dist::{Distribution, Exponential};
+use mitt_sim::{Duration, SimRng, SimTime};
+
+use crate::traces::{TraceIo, TraceSpec};
+
+const GB: u64 = 1_000_000_000;
+
+/// filebench `fileserver`: mixed read/write of medium files, steady.
+pub fn fileserver() -> TraceSpec {
+    TraceSpec {
+        name: "fileserver",
+        mean_interarrival: Duration::from_millis(9),
+        read_ratio: 0.55,
+        size_mix: vec![(16 << 10, 0.4), (64 << 10, 0.4), (128 << 10, 0.2)],
+        footprint: 400 * GB,
+        locality_theta: Some(0.5),
+        phases: None,
+    }
+}
+
+/// filebench `varmail`: small sync-write-heavy mail spool traffic.
+pub fn varmail() -> TraceSpec {
+    TraceSpec {
+        name: "varmail",
+        mean_interarrival: Duration::from_millis(6),
+        read_ratio: 0.45,
+        size_mix: vec![(4 << 10, 0.6), (16 << 10, 0.4)],
+        footprint: 60 * GB,
+        locality_theta: Some(0.9),
+        phases: None,
+    }
+}
+
+/// filebench `webserver`: read-mostly, hot working set.
+pub fn webserver() -> TraceSpec {
+    TraceSpec {
+        name: "webserver",
+        mean_interarrival: Duration::from_millis(12),
+        read_ratio: 0.95,
+        size_mix: vec![(8 << 10, 0.5), (32 << 10, 0.4), (64 << 10, 0.1)],
+        footprint: 150 * GB,
+        locality_theta: Some(0.99),
+        phases: None,
+    }
+}
+
+/// Parameters of the Hadoop/Facebook-2010-like job stream.
+#[derive(Debug, Clone)]
+pub struct HadoopConfig {
+    /// Mean gap between job submissions.
+    pub job_interarrival: Duration,
+    /// Bytes scanned by a map phase.
+    pub map_bytes: u64,
+    /// Bytes written by the shuffle/reduce phase.
+    pub reduce_bytes: u64,
+    /// IO chunk size used for both phases.
+    pub chunk: u32,
+    /// Footprint jobs read from.
+    pub footprint: u64,
+}
+
+impl Default for HadoopConfig {
+    fn default() -> Self {
+        HadoopConfig {
+            job_interarrival: Duration::from_secs(8),
+            map_bytes: 256 << 20,
+            reduce_bytes: 64 << 20,
+            chunk: 1 << 20,
+            footprint: 600 * GB,
+        }
+    }
+}
+
+/// Generates `jobs` Hadoop-like jobs starting from t=0. Each job issues its
+/// map reads back-to-back at `spread` pacing, then its reduce writes.
+pub fn hadoop_jobs(cfg: &HadoopConfig, jobs: usize, rng: &mut SimRng) -> Vec<TraceIo> {
+    let arrivals = Exponential::from_mean(cfg.job_interarrival.as_secs_f64());
+    // Within a job, chunks are paced at disk-streaming speed so one job
+    // saturates a drive for seconds, as real map tasks do.
+    let chunk_pace = Duration::from_millis(12);
+    let mut out = Vec::new();
+    let mut job_start = SimTime::ZERO;
+    for _ in 0..jobs {
+        let base = rng.range_u64(0, cfg.footprint - cfg.map_bytes);
+        let mut t = job_start;
+        let map_chunks = cfg.map_bytes / u64::from(cfg.chunk);
+        for c in 0..map_chunks {
+            out.push(TraceIo {
+                at: t,
+                offset: base + c * u64::from(cfg.chunk),
+                len: cfg.chunk,
+                is_read: true,
+            });
+            t += chunk_pace;
+        }
+        let reduce_chunks = cfg.reduce_bytes / u64::from(cfg.chunk);
+        let out_base = rng.range_u64(0, cfg.footprint - cfg.reduce_bytes);
+        for c in 0..reduce_chunks {
+            out.push(TraceIo {
+                at: t,
+                offset: out_base + c * u64::from(cfg.chunk),
+                len: cfg.chunk,
+                is_read: false,
+            });
+            t += chunk_pace;
+        }
+        job_start += Duration::from_secs_f64(arrivals.sample(rng));
+    }
+    out.sort_by_key(|io| io.at);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn personalities_have_expected_characters() {
+        assert!(webserver().read_ratio > fileserver().read_ratio);
+        assert!(varmail().read_ratio < fileserver().read_ratio);
+        assert!(varmail().size_mix.iter().all(|&(s, _)| s <= 16 << 10));
+    }
+
+    #[test]
+    fn hadoop_jobs_interleave_reads_then_writes() {
+        let cfg = HadoopConfig {
+            map_bytes: 4 << 20,
+            reduce_bytes: 2 << 20,
+            ..HadoopConfig::default()
+        };
+        let mut rng = SimRng::new(1);
+        let ios = hadoop_jobs(&cfg, 3, &mut rng);
+        assert_eq!(ios.len(), 3 * (4 + 2));
+        // Sorted by arrival time.
+        for w in ios.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        let reads = ios.iter().filter(|io| io.is_read).count();
+        assert_eq!(reads, 3 * 4);
+    }
+
+    #[test]
+    fn hadoop_map_chunks_are_sequential() {
+        let cfg = HadoopConfig {
+            map_bytes: 4 << 20,
+            reduce_bytes: 1 << 20,
+            ..HadoopConfig::default()
+        };
+        let mut rng = SimRng::new(2);
+        let ios = hadoop_jobs(&cfg, 1, &mut rng);
+        let reads: Vec<&TraceIo> = ios.iter().filter(|io| io.is_read).collect();
+        for w in reads.windows(2) {
+            assert_eq!(w[1].offset, w[0].offset + u64::from(w[0].len));
+        }
+    }
+
+    #[test]
+    fn personalities_generate_load() {
+        let mut rng = SimRng::new(3);
+        for spec in [fileserver(), varmail(), webserver()] {
+            let ios = spec.generate(Duration::from_secs(10), &mut rng);
+            assert!(ios.len() > 400, "{} too quiet: {}", spec.name, ios.len());
+        }
+    }
+}

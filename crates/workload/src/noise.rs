@@ -1,0 +1,299 @@
+//! Noisy-neighbor models (§6, "Millisecond Dynamism").
+//!
+//! The paper's most important empirical finding: EC2 contention is *bursty
+//! at sub-second scale* and *mostly uncorrelated across nodes* — at any
+//! instant usually 0-2 of 20 nodes are busy, so a rejected IO almost always
+//! has a quiet replica to land on. We reproduce that statistically:
+//!
+//! - each node runs an independent on/off noise process: burst lengths are
+//!   log-normal (median a few hundred ms, capped at a few seconds),
+//!   inter-arrival gaps are exponential with a mean chosen to hit the
+//!   target busy duty cycle (~2-3%, which yields Figure 3g's occupancy
+//!   distribution over 20 nodes);
+//! - each burst carries an intensity: how many competing IOs the noisy
+//!   tenant keeps outstanding (two concurrent 1 MB reads add ~24 ms of
+//!   disk delay, exactly the paper's injector calibration).
+//!
+//! [`rotating_schedule`] builds the deterministic 1-busy-2-free rotation
+//! used against snitching/C3 (Figure 12) and the NoSQL survey (Table 1).
+
+use mitt_sim::dist::{Distribution, Exponential, LogNormal};
+use mitt_sim::{Duration, SimRng, SimTime};
+
+/// One contiguous period of neighbor contention on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseBurst {
+    /// When the burst begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: Duration,
+    /// Competing IOs the noisy tenant keeps outstanding throughout.
+    pub intensity: u32,
+}
+
+impl NoiseBurst {
+    /// Exclusive end time of the burst.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// True if `t` falls inside the burst.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+}
+
+/// Parameters of a bursty on/off noise process.
+#[derive(Debug, Clone)]
+pub struct NoiseGen {
+    /// Median burst length.
+    pub burst_median: Duration,
+    /// Log-normal sigma of burst lengths.
+    pub burst_sigma: f64,
+    /// Upper cap on burst length.
+    pub burst_cap: Duration,
+    /// Mean gap between burst *ends* and next burst starts.
+    pub gap_mean: Duration,
+    /// Intensity choices with weights: `(outstanding IOs, weight)`.
+    pub intensity_weights: Vec<(u32, f64)>,
+}
+
+impl NoiseGen {
+    /// Disk noise calibrated to Figure 3a/3d: ~2.5% busy duty cycle,
+    /// bursts mostly 0.1-2 s, intensity 1-4 concurrent large reads.
+    pub fn ec2_disk() -> Self {
+        NoiseGen {
+            burst_median: Duration::from_millis(350),
+            burst_sigma: 0.9,
+            burst_cap: Duration::from_secs(3),
+            gap_mean: Duration::from_secs(18),
+            intensity_weights: vec![(1, 0.35), (2, 0.4), (3, 0.15), (4, 0.1)],
+        }
+    }
+
+    /// SSD noise calibrated to Figure 3b/3e: short write bursts queueing
+    /// reads behind 1-2 ms programs.
+    pub fn ec2_ssd() -> Self {
+        NoiseGen {
+            burst_median: Duration::from_millis(200),
+            burst_sigma: 0.8,
+            burst_cap: Duration::from_secs(2),
+            gap_mean: Duration::from_secs(6),
+            intensity_weights: vec![(4, 0.4), (8, 0.3), (16, 0.2), (32, 0.1)],
+        }
+    }
+
+    /// OS-cache noise calibrated to Figure 3c/3f: occasional swap-out
+    /// episodes (VM ballooning); intensity here means the *percentage* of
+    /// cached pages evicted (1-30).
+    pub fn ec2_cache() -> Self {
+        NoiseGen {
+            burst_median: Duration::from_millis(500),
+            burst_sigma: 0.7,
+            burst_cap: Duration::from_secs(4),
+            gap_mean: Duration::from_secs(25),
+            intensity_weights: vec![(5, 0.4), (10, 0.3), (20, 0.2), (30, 0.1)],
+        }
+    }
+
+    fn pick_intensity(&self, rng: &mut SimRng) -> u32 {
+        let total: f64 = self.intensity_weights.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.unit_f64() * total;
+        for &(v, w) in &self.intensity_weights {
+            if x < w {
+                return v;
+            }
+            x -= w;
+        }
+        self.intensity_weights.last().map_or(1, |&(v, _)| v)
+    }
+
+    /// Generates one node's noise schedule over `[0, horizon)`.
+    pub fn generate(&self, horizon: Duration, rng: &mut SimRng) -> Vec<NoiseBurst> {
+        let burst_dist = LogNormal::from_median(self.burst_median.as_secs_f64(), self.burst_sigma);
+        let gap_dist = Exponential::from_mean(self.gap_mean.as_secs_f64());
+        let mut bursts = Vec::new();
+        // First burst starts after a random gap so nodes are desynced.
+        let mut t = SimTime::ZERO + Duration::from_secs_f64(gap_dist.sample(rng));
+        let end = SimTime::ZERO + horizon;
+        while t < end {
+            let len = Duration::from_secs_f64(burst_dist.sample(rng)).min(self.burst_cap);
+            let len = len.max(Duration::from_millis(20));
+            bursts.push(NoiseBurst {
+                start: t,
+                duration: len,
+                intensity: self.pick_intensity(rng),
+            });
+            t = t + len + Duration::from_secs_f64(gap_dist.sample(rng));
+        }
+        bursts
+    }
+
+    /// Expected busy duty cycle of the process (mean burst / (mean burst +
+    /// mean gap)), for calibration checks.
+    pub fn expected_duty(&self) -> f64 {
+        // Mean of a log-normal = median * exp(sigma^2 / 2).
+        let mean_burst =
+            self.burst_median.as_secs_f64() * (self.burst_sigma * self.burst_sigma / 2.0).exp();
+        mean_burst / (mean_burst + self.gap_mean.as_secs_f64())
+    }
+}
+
+/// Builds per-node schedules where exactly one node is severely busy at a
+/// time, rotating every `period` — the "1B2F" pattern of §7.8.3 and the
+/// Table 1 survey's rotating contention.
+pub fn rotating_schedule(
+    nodes: usize,
+    period: Duration,
+    horizon: Duration,
+    intensity: u32,
+) -> Vec<Vec<NoiseBurst>> {
+    assert!(nodes > 0 && !period.is_zero(), "degenerate rotation");
+    let mut schedules = vec![Vec::new(); nodes];
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + horizon;
+    let mut idx = 0usize;
+    while t < end {
+        schedules[idx].push(NoiseBurst {
+            start: t,
+            duration: period,
+            intensity,
+        });
+        idx = (idx + 1) % nodes;
+        t += period;
+    }
+    schedules
+}
+
+/// Fraction of `[0, horizon)` covered by bursts (for calibration tests).
+pub fn busy_fraction(bursts: &[NoiseBurst], horizon: Duration) -> f64 {
+    let covered: Duration = bursts
+        .iter()
+        .map(|b| {
+            let end = b.end().min(SimTime::ZERO + horizon);
+            end.saturating_since(b.start)
+        })
+        .sum();
+    covered.as_secs_f64() / horizon.as_secs_f64()
+}
+
+/// Counts, at sample instants spaced `step` apart, how many of the nodes
+/// are inside a burst — the Figure 3g occupancy statistic.
+pub fn occupancy_histogram(
+    schedules: &[Vec<NoiseBurst>],
+    horizon: Duration,
+    step: Duration,
+) -> Vec<f64> {
+    assert!(!step.is_zero(), "zero sampling step");
+    let mut counts = vec![0u64; schedules.len() + 1];
+    let mut samples = 0u64;
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + horizon;
+    // Per-node cursor into its (time-ordered) burst list.
+    let mut cursors = vec![0usize; schedules.len()];
+    while t < end {
+        let mut busy = 0usize;
+        for (node, bursts) in schedules.iter().enumerate() {
+            while cursors[node] < bursts.len() && bursts[cursors[node]].end() <= t {
+                cursors[node] += 1;
+            }
+            if cursors[node] < bursts.len() && bursts[cursors[node]].contains(t) {
+                busy += 1;
+            }
+        }
+        counts[busy] += 1;
+        samples += 1;
+        t += step;
+    }
+    counts.iter().map(|&c| c as f64 / samples as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_noise_duty_cycle_near_target() {
+        let gen = NoiseGen::ec2_disk();
+        let horizon = Duration::from_secs(4000);
+        let mut rng = SimRng::new(1);
+        let bursts = gen.generate(horizon, &mut rng);
+        let duty = busy_fraction(&bursts, horizon);
+        let expected = gen.expected_duty();
+        assert!(
+            (duty - expected).abs() < 0.02,
+            "duty {duty} vs expected {expected}"
+        );
+        assert!((0.015..0.06).contains(&duty), "duty {duty} out of band");
+    }
+
+    #[test]
+    fn bursts_are_ordered_and_non_overlapping() {
+        let gen = NoiseGen::ec2_ssd();
+        let mut rng = SimRng::new(2);
+        let bursts = gen.generate(Duration::from_secs(600), &mut rng);
+        for w in bursts.windows(2) {
+            assert!(w[1].start >= w[0].end(), "bursts must not overlap");
+        }
+    }
+
+    #[test]
+    fn burst_lengths_mostly_subsecond() {
+        let gen = NoiseGen::ec2_disk();
+        let mut rng = SimRng::new(3);
+        let bursts = gen.generate(Duration::from_secs(20_000), &mut rng);
+        assert!(bursts.len() > 100, "need a meaningful sample");
+        let subsecond = bursts
+            .iter()
+            .filter(|b| b.duration < Duration::from_secs(1))
+            .count();
+        assert!(
+            subsecond as f64 > 0.6 * bursts.len() as f64,
+            "sub-second bursts: {subsecond}/{}",
+            bursts.len()
+        );
+        assert!(bursts.iter().all(|b| b.duration <= gen.burst_cap));
+    }
+
+    #[test]
+    fn occupancy_mostly_zero_or_one_for_20_nodes() {
+        let gen = NoiseGen::ec2_disk();
+        let horizon = Duration::from_secs(2000);
+        let mut rng = SimRng::new(4);
+        let schedules: Vec<Vec<NoiseBurst>> = (0..20)
+            .map(|_| {
+                let mut r = rng.fork();
+                gen.generate(horizon, &mut r)
+            })
+            .collect();
+        let occ = occupancy_histogram(&schedules, horizon, Duration::from_millis(100));
+        // Figure 3g shape: P(0) dominates, P diminishes rapidly with N.
+        assert!(occ[0] > 0.35, "P(0 busy) = {}", occ[0]);
+        assert!(occ[1] > occ[2], "P(1) must exceed P(2)");
+        assert!(occ[2] > occ[4].max(1e-12), "occupancy must diminish");
+        let three_plus: f64 = occ[3..].iter().sum();
+        assert!(three_plus < 0.1, "P(>=3 busy) = {three_plus}");
+    }
+
+    #[test]
+    fn rotating_schedule_has_one_busy_node_at_a_time() {
+        let period = Duration::from_secs(1);
+        let horizon = Duration::from_secs(9);
+        let scheds = rotating_schedule(3, period, horizon, 6);
+        let occ = occupancy_histogram(&scheds, horizon, Duration::from_millis(50));
+        assert!(occ[1] > 0.99, "exactly one node busy at all times: {occ:?}");
+        // Each node gets every third slot.
+        assert_eq!(scheds[0].len(), 3);
+        assert_eq!(scheds[1].len(), 3);
+        assert_eq!(scheds[0][0].start, SimTime::ZERO);
+        assert_eq!(scheds[1][0].start, SimTime::ZERO + period);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = NoiseGen::ec2_disk();
+        let a = gen.generate(Duration::from_secs(100), &mut SimRng::new(9));
+        let b = gen.generate(Duration::from_secs(100), &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+}

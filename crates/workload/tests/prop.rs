@@ -1,0 +1,81 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+
+use mitt_sim::{Duration, SimRng};
+use mitt_workload::{
+    busy_fraction, rotating_schedule, KeyDist, NoiseGen, TraceSpec, YcsbConfig, YcsbGenerator,
+};
+
+proptest! {
+    /// YCSB keys always stay inside the keyspace, for both distributions.
+    #[test]
+    fn ycsb_keys_in_range(records in 1u64..100_000, zipf in any::<bool>(), seed in any::<u64>()) {
+        let gen = YcsbGenerator::new(YcsbConfig {
+            record_count: records,
+            key_dist: if zipf {
+                KeyDist::Zipfian { theta: 0.99 }
+            } else {
+                KeyDist::Uniform
+            },
+            ..YcsbConfig::default()
+        });
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(gen.next_op(&mut rng).key() < records);
+        }
+    }
+
+    /// Noise bursts never overlap and respect the configured cap, for any
+    /// generator parameters in a sane range.
+    #[test]
+    fn noise_bursts_well_formed(
+        median_ms in 50u64..2000,
+        sigma in 0.1f64..1.5,
+        gap_s in 1u64..60,
+        seed in any::<u64>(),
+    ) {
+        let gen = NoiseGen {
+            burst_median: Duration::from_millis(median_ms),
+            burst_sigma: sigma,
+            burst_cap: Duration::from_secs(5),
+            gap_mean: Duration::from_secs(gap_s),
+            intensity_weights: vec![(1, 1.0)],
+        };
+        let mut rng = SimRng::new(seed);
+        let bursts = gen.generate(Duration::from_secs(300), &mut rng);
+        for w in bursts.windows(2) {
+            prop_assert!(w[1].start >= w[0].end());
+        }
+        for b in &bursts {
+            prop_assert!(b.duration <= Duration::from_secs(5));
+            prop_assert!(b.intensity >= 1);
+        }
+    }
+
+    /// A rotating schedule covers each node with equal shares and exactly
+    /// one node is busy at any covered instant.
+    #[test]
+    fn rotation_shares_are_equal(nodes in 1usize..8, period_ms in 100u64..2000) {
+        let period = Duration::from_millis(period_ms);
+        let horizon = period * (nodes as u64) * 4;
+        let scheds = rotating_schedule(nodes, period, horizon, 3);
+        let fracs: Vec<f64> = scheds.iter().map(|s| busy_fraction(s, horizon)).collect();
+        let expected = 1.0 / nodes as f64;
+        for f in fracs {
+            prop_assert!((f - expected).abs() < 1e-9, "share {f} vs {expected}");
+        }
+    }
+
+    /// Trace generation respects footprint bounds for every class.
+    #[test]
+    fn traces_within_footprint(class in 0usize..5, seed in any::<u64>()) {
+        let spec = TraceSpec::all_five().remove(class);
+        let mut rng = SimRng::new(seed);
+        let trace = spec.generate(Duration::from_secs(30), &mut rng);
+        for io in &trace {
+            prop_assert!(io.offset + u64::from(io.len) <= spec.footprint);
+            prop_assert!(io.len > 0);
+        }
+    }
+}

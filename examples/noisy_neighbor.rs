@@ -1,0 +1,92 @@
+//! A noisy-neighbor scenario on one node: watch the predictor track the
+//! disk as another tenant floods it, and see which requests MittOS saves.
+//!
+//! This drives the full per-node OS stack (CFQ scheduler, SSTF device
+//! queue, MittCFQ predictor) through a burst of competing 1 MB reads, the
+//! paper's §7.2 noise injector.
+//!
+//! Run with: `cargo run --release --example noisy_neighbor`
+
+use mittos_repro::cluster::node::{Node, NodeConfig, ReadOutcome, ReadReq};
+use mittos_repro::device::{IoClass, ProcessId, GB};
+use mittos_repro::sim::{Duration, EventQueue, SimRng, SimTime};
+
+enum Ev {
+    TenantRead(u32),
+    NoiseRead(u32),
+    DiskTick,
+}
+
+fn main() {
+    let mut rng = SimRng::new(7);
+    let mut node = Node::new(0, NodeConfig::disk_cfq(), &mut rng);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let deadline = Duration::from_millis(20);
+
+    // Tenant A: 4KB reads every 25ms with a 20ms SLO.
+    for i in 0..40 {
+        q.schedule(
+            SimTime::ZERO + Duration::from_millis(25) * u64::from(i),
+            Ev::TenantRead(i),
+        );
+    }
+    // Tenant B (the noisy neighbor): a burst of 1MB reads between t=300ms
+    // and t=600ms, two kept outstanding.
+    for i in 0..2 {
+        q.schedule(SimTime::ZERO + Duration::from_millis(300), Ev::NoiseRead(i));
+    }
+    let noise_end = SimTime::ZERO + Duration::from_millis(600);
+
+    let mut admitted = 0u32;
+    let mut rejected = 0u32;
+    let mut noise_rng = rng.fork();
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::TenantRead(i) => {
+                let offset = (u64::from(i) * 37 + 5) % 900 * GB;
+                let req = ReadReq::client(offset, 4096, ProcessId(1)).with_deadline(deadline);
+                match node.submit_read(&req, now).outcome {
+                    ReadOutcome::Busy { predicted_wait, .. } => {
+                        rejected += 1;
+                        println!(
+                            "[{:>7.1}ms] read {i:>2}: EBUSY (predicted wait {:.1}ms) -> failover",
+                            now.as_millis_f64(),
+                            predicted_wait.as_millis_f64()
+                        );
+                    }
+                    ReadOutcome::Submitted { ticks, .. } => {
+                        admitted += 1;
+                        if let Some(s) = ticks.disk {
+                            q.schedule(s.done_at, Ev::DiskTick);
+                        }
+                    }
+                    ReadOutcome::CacheHit { .. } => unreachable!("no cache configured"),
+                }
+            }
+            Ev::NoiseRead(slot) => {
+                if now >= noise_end {
+                    continue;
+                }
+                let offset = noise_rng.range_u64(0, 900) * GB;
+                let req = ReadReq::client(offset, 1 << 20, ProcessId(99))
+                    .with_ionice(IoClass::BestEffort, 4);
+                if let ReadOutcome::Submitted { ticks, .. } = node.submit_read(&req, now).outcome {
+                    if let Some(s) = ticks.disk {
+                        q.schedule(s.done_at, Ev::DiskTick);
+                    }
+                }
+                // Reissue at roughly the service rate so the burst keeps
+                // ~2 reads outstanding without unbounded backlog.
+                q.schedule(now + Duration::from_millis(26), Ev::NoiseRead(slot));
+            }
+            Ev::DiskTick => {
+                let out = node.on_disk_tick(now);
+                if let Some(next) = out.next {
+                    q.schedule(next.done_at, Ev::DiskTick);
+                }
+            }
+        }
+    }
+    println!("\n{admitted} reads admitted, {rejected} rejected with EBUSY during the noise burst.");
+    println!("Every rejection was an instant (<5us) failover instead of a ~20ms+ stall.");
+}

@@ -1,0 +1,236 @@
+//! `mittos-sim` — run a MittOS cluster experiment from the command line.
+//!
+//! ```text
+//! mittos-sim [--strategy base|appto|clone|hedged|tied|snitch|c3|mittos|mittos-wait|mittos-auto]
+//!            [--nodes N] [--clients N] [--ops N] [--sf N] [--seed N]
+//!            [--deadline-ms F] [--think-ms F] [--medium disk|ssd]
+//!            [--noise none|ec2|rotating:<period_ms>] [--engine] [--mmap]
+//! ```
+//!
+//! Example: compare strategies under rotating contention:
+//!
+//! ```text
+//! mittos-sim --strategy base   --noise rotating:1000
+//! mittos-sim --strategy hedged --noise rotating:1000
+//! mittos-sim --strategy mittos --noise rotating:1000
+//! ```
+
+use std::process::exit;
+
+use mittos_repro::cluster::{
+    run_experiment, BtreeConfig, ExperimentConfig, InitialReplica, Medium, NodeConfig, NoiseKind,
+    NoiseStream, Strategy,
+};
+use mittos_repro::device::IoClass;
+use mittos_repro::lsm::LsmConfig;
+use mittos_repro::sim::{Duration, SimRng};
+use mittos_repro::workload::{rotating_schedule, NoiseGen};
+
+struct Args {
+    strategy: String,
+    nodes: usize,
+    clients: usize,
+    ops: usize,
+    sf: usize,
+    seed: u64,
+    deadline_ms: f64,
+    think_ms: f64,
+    medium: String,
+    noise: String,
+    engine: bool,
+    mmap: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            strategy: "mittos".into(),
+            nodes: 20,
+            clients: 20,
+            ops: 400,
+            sf: 1,
+            seed: 1,
+            deadline_ms: 15.0,
+            think_ms: 10.0,
+            medium: "disk".into(),
+            noise: "ec2".into(),
+            engine: false,
+            mmap: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mittos-sim [--strategy S] [--nodes N] [--clients N] [--ops N] [--sf N]\n\
+         \x20                 [--seed N] [--deadline-ms F] [--think-ms F] [--medium disk|ssd]\n\
+         \x20                 [--noise none|ec2|rotating:<ms>] [--engine] [--mmap]\n\
+         strategies: base appto clone hedged tied snitch c3 mittos mittos-wait mittos-auto"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--strategy" => args.strategy = value("--strategy"),
+            "--nodes" => args.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--clients" => args.clients = value("--clients").parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = value("--ops").parse().unwrap_or_else(|_| usage()),
+            "--sf" => args.sf = value("--sf").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--think-ms" => args.think_ms = value("--think-ms").parse().unwrap_or_else(|_| usage()),
+            "--medium" => args.medium = value("--medium"),
+            "--noise" => args.noise = value("--noise"),
+            "--engine" => args.engine = true,
+            "--mmap" => args.mmap = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn build_noise(args: &Args) -> Vec<NoiseStream> {
+    let kind = match args.medium.as_str() {
+        "ssd" => NoiseKind::SsdWrites { len: 64 << 10 },
+        _ => NoiseKind::DiskReads {
+            len: 1 << 20,
+            class: IoClass::BestEffort,
+            priority: 4,
+        },
+    };
+    match args.noise.as_str() {
+        "none" => Vec::new(),
+        "ec2" => {
+            let gen = match args.medium.as_str() {
+                "ssd" => NoiseGen::ec2_ssd(),
+                _ => NoiseGen::ec2_disk(),
+            };
+            let mut rng = SimRng::new(args.seed ^ 0xEC2);
+            vec![NoiseStream {
+                kind,
+                schedules: (0..args.nodes)
+                    .map(|_| {
+                        let mut r = rng.fork();
+                        gen.generate(Duration::from_secs(3600), &mut r)
+                    })
+                    .collect(),
+            }]
+        }
+        other if other.starts_with("rotating:") => {
+            let ms: u64 = other["rotating:".len()..]
+                .parse()
+                .unwrap_or_else(|_| usage());
+            vec![NoiseStream {
+                kind,
+                schedules: rotating_schedule(
+                    args.nodes,
+                    Duration::from_millis(ms),
+                    Duration::from_secs(3600),
+                    4,
+                ),
+            }]
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let deadline = Duration::from_millis_f64(args.deadline_ms);
+    let strategy = match args.strategy.as_str() {
+        "base" => Strategy::Base,
+        "appto" => Strategy::AppTimeout { timeout: deadline },
+        "clone" => Strategy::Clone2,
+        "hedged" => Strategy::Hedged { after: deadline },
+        "tied" => Strategy::Tied {
+            delay: Duration::from_millis(1),
+        },
+        "snitch" => Strategy::Snitch { alpha: 0.3 },
+        "c3" => Strategy::C3,
+        "mittos" => Strategy::MittOs { deadline },
+        "mittos-wait" => Strategy::MittOsWait { deadline },
+        "mittos-auto" => Strategy::MittOsAuto { initial: deadline },
+        _ => usage(),
+    };
+    let (node_cfg, medium) = match args.medium.as_str() {
+        "ssd" => (NodeConfig::ssd(), Medium::Ssd),
+        "disk" => (NodeConfig::disk_cfq(), Medium::Disk),
+        _ => usage(),
+    };
+    let node_cfg = if args.mmap {
+        NodeConfig::cached_disk()
+    } else {
+        node_cfg
+    };
+
+    let mut cfg = ExperimentConfig::cluster20(node_cfg, strategy);
+    cfg.seed = args.seed;
+    cfg.nodes = args.nodes;
+    cfg.clients = args.clients;
+    cfg.ops_per_client = args.ops;
+    cfg.scale_factor = args.sf;
+    cfg.medium = medium;
+    cfg.think_time = Duration::from_millis_f64(args.think_ms);
+    cfg.initial_replica = InitialReplica::Random;
+    cfg.noise = build_noise(&args);
+    if args.engine {
+        cfg.engine = Some(LsmConfig::default());
+    }
+    if args.mmap {
+        cfg.mmap_btree = Some(BtreeConfig::default());
+        cfg.preload_cache = true;
+        cfg.record_count = 100_000;
+    }
+
+    let mut res = run_experiment(cfg);
+    println!(
+        "strategy={} nodes={} clients={} ops={} sf={} seed={} noise={}{}{}",
+        args.strategy,
+        args.nodes,
+        args.clients,
+        args.ops,
+        args.sf,
+        args.seed,
+        args.noise,
+        if args.engine { " engine=lsm" } else { "" },
+        if args.mmap { " mmap=btree" } else { "" },
+    );
+    println!(
+        "completed {} user requests in {:.2}s virtual time; ebusy={} retries={} errors={}",
+        res.ops,
+        res.finished_at.as_secs_f64(),
+        res.ebusy,
+        res.retries,
+        res.errors
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "avg(ms)", "p50", "p90", "p95", "p99", "max"
+    );
+    let r = &mut res.user_latencies;
+    println!(
+        "{:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+        r.mean().as_millis_f64(),
+        r.percentile(50.0).as_millis_f64(),
+        r.percentile(90.0).as_millis_f64(),
+        r.percentile(95.0).as_millis_f64(),
+        r.percentile(99.0).as_millis_f64(),
+        r.max().as_millis_f64(),
+    );
+}

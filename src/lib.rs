@@ -1,0 +1,15 @@
+//! Umbrella crate for the MittOS reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so examples and
+//! integration tests can use a single dependency. See the README for the
+//! architecture overview and `DESIGN.md` for the experiment index.
+
+pub use mitt_beyond as beyond;
+pub use mitt_cluster as cluster;
+pub use mitt_device as device;
+pub use mitt_lsm as lsm;
+pub use mitt_oscache as oscache;
+pub use mitt_sched as sched;
+pub use mitt_sim as sim;
+pub use mitt_workload as workload;
+pub use mittos as os;

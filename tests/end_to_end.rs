@@ -1,0 +1,170 @@
+//! End-to-end integration tests: the headline behaviours of the paper,
+//! asserted across the full stack (devices → schedulers → predictors →
+//! cluster → strategies).
+
+use mittos_repro::cluster::{
+    run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
+};
+use mittos_repro::device::IoClass;
+use mittos_repro::sim::Duration;
+use mittos_repro::workload::rotating_schedule;
+
+fn rotating_noise(intensity: u32) -> Vec<NoiseStream> {
+    vec![NoiseStream {
+        kind: NoiseKind::DiskReads {
+            len: 1 << 20,
+            class: IoClass::BestEffort,
+            priority: 4,
+        },
+        schedules: rotating_schedule(
+            3,
+            Duration::from_secs(1),
+            Duration::from_secs(1200),
+            intensity,
+        ),
+    }]
+}
+
+fn micro(strategy: Strategy, noise: Vec<NoiseStream>, ops: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
+    cfg.seed = 99;
+    cfg.clients = 3;
+    cfg.ops_per_client = ops;
+    cfg.initial_replica = InitialReplica::Random;
+    cfg.think_time = Duration::from_millis(5);
+    cfg.noise = noise;
+    cfg
+}
+
+/// The headline claim: MittOS's no-wait failover beats wait-then-speculate
+/// at the tail under rotating contention.
+#[test]
+fn mittos_beats_base_and_hedged_at_the_tail() {
+    let deadline = Duration::from_millis(15);
+    let mut base = run_experiment(micro(Strategy::Base, rotating_noise(4), 300));
+    let mut hedged = run_experiment(micro(
+        Strategy::Hedged { after: deadline },
+        rotating_noise(4),
+        300,
+    ));
+    let mitt_res = run_experiment(micro(Strategy::MittOs { deadline }, rotating_noise(4), 300));
+    assert!(mitt_res.ebusy > 50, "contended replica must reject");
+    assert_eq!(mitt_res.errors, 0, "two quiet replicas always exist");
+    let mut mitt = mitt_res.get_latencies;
+    let (m95, h95, b95) = (
+        mitt.percentile(95.0),
+        hedged.get_latencies.percentile(95.0),
+        base.get_latencies.percentile(95.0),
+    );
+    assert!(
+        m95 < h95 && h95 < b95,
+        "expected MittOS < Hedged < Base at p95: {m95} vs {h95} vs {b95}"
+    );
+    // The paper's scale: MittOS cuts hedged's p95 by double digits and
+    // Base's by a large factor under severe rotating noise.
+    assert!(
+        m95.as_secs_f64() < 0.8 * h95.as_secs_f64(),
+        "MittOS should cut >=20% off hedged's p95 ({m95} vs {h95})"
+    );
+    assert!(
+        m95.as_secs_f64() < 0.3 * b95.as_secs_f64(),
+        "MittOS should cut most of Base's p95 ({m95} vs {b95})"
+    );
+}
+
+/// EBUSY is fast: the client-observed latency of a rejected-then-retried
+/// get is roughly one extra hop, not a timeout.
+#[test]
+fn failover_costs_one_hop_not_a_timeout() {
+    let deadline = Duration::from_millis(15);
+    let quiet = run_experiment(micro(Strategy::MittOs { deadline }, Vec::new(), 300));
+    let noisy = run_experiment(micro(Strategy::MittOs { deadline }, rotating_noise(4), 300));
+    let mut quiet_lat = quiet.get_latencies;
+    let mut noisy_lat = noisy.get_latencies;
+    let q95 = quiet_lat.percentile(95.0);
+    let n95 = noisy_lat.percentile(95.0);
+    // p95 under noise should exceed the quiet p95 by a few ms at most
+    // (one failover = one extra round trip + a second queueing draw), not
+    // by the 1s burst length.
+    assert!(
+        n95 < q95 + Duration::from_millis(8),
+        "noisy p95 {n95} should be within ~8ms of quiet p95 {q95}"
+    );
+}
+
+/// Tied requests (the §7.8.2 extension): the duplicate is revoked at
+/// begin-execution, so tied completes everything with less device load
+/// than cloning.
+#[test]
+fn tied_requests_complete_and_revoke() {
+    let res = run_experiment(micro(
+        Strategy::Tied {
+            delay: Duration::from_millis(1),
+        },
+        Vec::new(),
+        200,
+    ));
+    assert_eq!(res.ops, 600);
+    assert_eq!(res.errors, 0);
+}
+
+/// The write path is insulated from disk noise by the NVRAM buffer
+/// (§7.8.6).
+#[test]
+fn writes_unaffected_by_disk_noise() {
+    let mk = |noise| {
+        let mut cfg = micro(Strategy::Base, noise, 200);
+        cfg.write_fraction = 1.0;
+        run_experiment(cfg)
+    };
+    let mut quiet = mk(Vec::new());
+    let mut noisy = mk(rotating_noise(6));
+    let dq = quiet.get_latencies.percentile(99.0);
+    let dn = noisy.get_latencies.percentile(99.0);
+    assert!(
+        dn < dq + Duration::from_micros(300),
+        "write p99 must not absorb disk noise: quiet {dq} vs noisy {dn}"
+    );
+}
+
+/// Scale amplification (§7.3): with SF parallel gets per user request, the
+/// fraction of user requests above the single-get p95 grows with SF.
+#[test]
+fn tail_amplified_by_scale() {
+    let mk = |sf: usize| {
+        let mut cfg = micro(Strategy::Base, Vec::new(), 200);
+        cfg.nodes = 6;
+        cfg.scale_factor = sf;
+        run_experiment(cfg)
+    };
+    let mut sf1 = mk(1);
+    let threshold = sf1.get_latencies.percentile(95.0);
+    let sf5 = mk(5);
+    let above_sf1 = sf1.user_latencies.fraction_above(threshold);
+    let above_sf5 = sf5.user_latencies.fraction_above(threshold);
+    // 1 - (1-p)^N amplification: ~5% becomes ~20%+ at SF=5.
+    assert!(
+        above_sf5 > 2.0 * above_sf1,
+        "SF=5 should amplify the tail: {above_sf1} -> {above_sf5}"
+    );
+}
+
+/// The deadline auto-tuner (§8.1 extension) converges into its target
+/// EBUSY band instead of rejecting everything or nothing.
+#[test]
+fn deadline_autotuner_finds_a_working_deadline() {
+    let res = run_experiment(micro(
+        Strategy::MittOsAuto {
+            initial: Duration::from_millis(1), // absurdly strict on purpose
+        },
+        rotating_noise(2),
+        500,
+    ));
+    assert_eq!(res.ops, 1500);
+    assert_eq!(res.errors, 0);
+    let ebusy_rate = res.ebusy as f64 / (res.ops as f64);
+    assert!(
+        ebusy_rate < 0.5,
+        "tuner must relax a 1ms deadline that rejects everything: rate {ebusy_rate}"
+    );
+}

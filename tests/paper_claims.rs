@@ -1,0 +1,267 @@
+//! Figure-level integration tests: small-scale versions of the evaluation
+//! experiments asserting the *shapes* the paper reports.
+
+use mittos_repro::cluster::nosql::{run_survey, surveyed_systems};
+use mittos_repro::cluster::{
+    run_experiment, ExperimentConfig, InitialReplica, Medium, NodeConfig, NoiseKind, NoiseStream,
+    Strategy,
+};
+use mittos_repro::device::IoClass;
+use mittos_repro::sim::{Duration, SimRng, SimTime};
+use mittos_repro::workload::{occupancy_histogram, rotating_schedule, NoiseBurst, NoiseGen};
+
+/// Figure 3g: with 20 independently-noisy nodes, usually 0-2 are busy
+/// simultaneously, and P(N busy) diminishes rapidly.
+#[test]
+fn fig3g_occupancy_diminishes() {
+    let gen = NoiseGen::ec2_disk();
+    let horizon = Duration::from_secs(1500);
+    let mut rng = SimRng::new(33);
+    let schedules: Vec<Vec<NoiseBurst>> = (0..20)
+        .map(|_| {
+            let mut r = rng.fork();
+            gen.generate(horizon, &mut r)
+        })
+        .collect();
+    let occ = occupancy_histogram(&schedules, horizon, Duration::from_millis(100));
+    assert!(occ[0] > occ[1] && occ[1] > occ[2] && occ[2] > occ[3]);
+    let three_plus: f64 = occ[3..].iter().sum();
+    assert!(three_plus < 0.08, "P(>=3 busy) = {three_plus}");
+}
+
+/// Figure 4b: high-priority noise devastates Base from low percentiles;
+/// MittCFQ detects the priority bumping and stays near NoNoise.
+#[test]
+fn fig4b_high_priority_noise() {
+    let noise = || {
+        let mut schedules = vec![Vec::new(); 3];
+        schedules[0] = vec![NoiseBurst {
+            start: SimTime::ZERO,
+            duration: Duration::from_secs(1200),
+            intensity: 8,
+        }];
+        vec![NoiseStream {
+            kind: NoiseKind::DiskReads {
+                len: 4096,
+                class: IoClass::BestEffort,
+                priority: 0,
+            },
+            schedules,
+        }]
+    };
+    let mk = |strategy: Strategy, noisy: bool| {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
+        cfg.seed = 34;
+        cfg.clients = 2;
+        cfg.ops_per_client = 150;
+        if noisy {
+            cfg.noise = noise();
+        }
+        run_experiment(cfg)
+    };
+    let mut base = mk(Strategy::Base, true);
+    let mitt = mk(
+        Strategy::MittOs {
+            deadline: Duration::from_millis(20),
+        },
+        true,
+    );
+    assert!(mitt.ebusy > 20, "MittCFQ must reject on the noisy node");
+    let mut mitt = mitt.get_latencies;
+    let b75 = base.get_latencies.percentile(75.0);
+    let m75 = mitt.percentile(75.0);
+    assert!(
+        m75.as_secs_f64() < 0.7 * b75.as_secs_f64(),
+        "RT noise should devastate Base well below the tail: {m75} vs {b75}"
+    );
+}
+
+/// Figure 4d / 7: MittCache turns swapped-out data into instant EBUSY and
+/// removes the page-fault tail.
+#[test]
+fn fig4d_mittcache_removes_swap_tail() {
+    let swap_noise = || {
+        let mut schedules = vec![Vec::new(); 3];
+        schedules[0] = (0..600)
+            .map(|i| NoiseBurst {
+                start: SimTime::ZERO + Duration::from_millis(500) * i,
+                duration: Duration::from_millis(1),
+                intensity: 20,
+            })
+            .collect();
+        vec![NoiseStream {
+            kind: NoiseKind::CacheSwap,
+            schedules,
+        }]
+    };
+    let mk = |strategy: Strategy| {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::cached_disk(), strategy);
+        cfg.seed = 35;
+        cfg.clients = 2;
+        cfg.ops_per_client = 200;
+        cfg.record_count = 20_000;
+        cfg.via_cache = true;
+        cfg.preload_cache = true;
+        cfg.noise = swap_noise();
+        run_experiment(cfg)
+    };
+    let mut base = mk(Strategy::Base).get_latencies;
+    let mitt_res = mk(Strategy::MittOs {
+        deadline: Duration::from_micros(100),
+    });
+    assert!(mitt_res.ebusy > 5, "swap-outs must trigger EBUSY");
+    let mut mitt = mitt_res.get_latencies;
+    let b99 = base.percentile(99.0);
+    let m99 = mitt.percentile(99.0);
+    assert!(
+        b99 > Duration::from_millis(4),
+        "Base must absorb page-fault latency: {b99}"
+    );
+    assert!(
+        m99 < Duration::from_millis(3),
+        "MittCache must stay near memory speed: {m99}"
+    );
+}
+
+/// Figure 8's mechanism: on a core-constrained SSD node, hedging makes the
+/// tail worse than Base while MittSSD does not.
+#[test]
+fn fig8_hedging_hurts_when_cpu_bound() {
+    let mk = |strategy: Strategy| {
+        let mut node_cfg = NodeConfig::ssd();
+        node_cfg.cpu = Some(mittos_repro::cluster::CpuConfig {
+            cores: 1,
+            pre_io: Duration::from_micros(300),
+            post_io: Duration::from_micros(250),
+        });
+        let mut cfg = ExperimentConfig::micro(node_cfg, strategy);
+        cfg.seed = 36;
+        cfg.nodes = 3;
+        cfg.clients = 5;
+        cfg.ops_per_client = 400;
+        cfg.medium = Medium::Ssd;
+        cfg.initial_replica = InitialReplica::Random;
+        run_experiment(cfg)
+    };
+    let mut base = mk(Strategy::Base).get_latencies;
+    let p95 = base.percentile(95.0);
+    let mut hedged = mk(Strategy::Hedged { after: p95 }).get_latencies;
+    // Hedge-induced CPU contention: hedged p99 exceeds Base p99.
+    let b99 = base.percentile(99.0);
+    let h99 = hedged.percentile(99.0);
+    assert!(
+        h99 > b99,
+        "hedging should hurt a CPU-saturated SSD node: hedged {h99} vs base {b99}"
+    );
+}
+
+/// Figure 10: 100% false negatives degrade MittOS to ~Base; 100% false
+/// positives are worse than Base.
+#[test]
+fn fig10_error_injection_ordering() {
+    let noise = vec![NoiseStream {
+        kind: NoiseKind::DiskReads {
+            len: 1 << 20,
+            class: IoClass::BestEffort,
+            priority: 4,
+        },
+        schedules: rotating_schedule(3, Duration::from_secs(1), Duration::from_secs(1200), 4),
+    }];
+    let mk = |inject: Option<(f64, f64)>, strategy: Strategy| {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
+        cfg.seed = 37;
+        cfg.clients = 3;
+        cfg.ops_per_client = 250;
+        cfg.think_time = Duration::from_millis(5);
+        cfg.initial_replica = InitialReplica::Random;
+        cfg.node_cfg.inject = inject;
+        cfg.noise = noise.clone();
+        run_experiment(cfg)
+    };
+    let deadline = Duration::from_millis(15);
+    let mut base = mk(None, Strategy::Base).get_latencies;
+    let mut clean = mk(None, Strategy::MittOs { deadline }).get_latencies;
+    let mut fn100 = mk(Some((1.0, 0.0)), Strategy::MittOs { deadline }).get_latencies;
+    let fp100_res = mk(Some((0.0, 1.0)), Strategy::MittOs { deadline });
+    let p = 95.0;
+    let (b, c, f) = (base.percentile(p), clean.percentile(p), fn100.percentile(p));
+    assert!(c < f, "accurate predictions must beat FN-corrupted ones");
+    // 100% FN == never reject == Base behaviour (within noise).
+    assert!(
+        f.as_secs_f64() > 0.7 * b.as_secs_f64(),
+        "FN=100% should be ~Base: {f} vs {b}"
+    );
+    // 100% FP: every deadline try rejected; massively more EBUSYs and
+    // worse latency than the accurate predictor.
+    assert!(fp100_res.ebusy as usize >= 2 * 750, "every try must bounce");
+    let mut fp100 = fp100_res.get_latencies;
+    assert!(fp100.percentile(50.0) > clean.percentile(50.0));
+}
+
+/// Figure 12: C3-style adaptive selection copes with slow (5s) rotation
+/// but not sub-second burstiness; MittOS handles the 1s case.
+#[test]
+fn fig12_adaptivity_fails_on_fast_rotation() {
+    let rot = |period: Duration| {
+        vec![NoiseStream {
+            kind: NoiseKind::DiskReads {
+                len: 1 << 20,
+                class: IoClass::BestEffort,
+                priority: 4,
+            },
+            schedules: rotating_schedule(3, period, Duration::from_secs(1200), 5),
+        }]
+    };
+    let mk = |strategy: Strategy, noise| {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
+        cfg.seed = 38;
+        cfg.clients = 3;
+        cfg.ops_per_client = 400;
+        cfg.think_time = Duration::from_millis(5);
+        cfg.initial_replica = InitialReplica::Random;
+        cfg.noise = noise;
+        run_experiment(cfg).get_latencies
+    };
+    let mut c3_slow = mk(Strategy::C3, rot(Duration::from_secs(5)));
+    let mut c3_fast = mk(Strategy::C3, rot(Duration::from_secs(1)));
+    let mut mitt_fast = mk(
+        Strategy::MittOs {
+            deadline: Duration::from_millis(15),
+        },
+        rot(Duration::from_secs(1)),
+    );
+    let p = 95.0;
+    assert!(
+        c3_fast.percentile(p) > c3_slow.percentile(p),
+        "1s rotation must defeat adaptive selection: {} vs {}",
+        c3_fast.percentile(p),
+        c3_slow.percentile(p)
+    );
+    assert!(
+        mitt_fast.percentile(p) < c3_fast.percentile(p),
+        "MittOS must beat C3 under fast rotation"
+    );
+}
+
+/// Table 1's three claims, measured.
+#[test]
+fn table1_nosql_survey_claims() {
+    let systems = surveyed_systems();
+    assert_eq!(systems.iter().filter(|s| s.supports_clone).count(), 2);
+    assert!(systems.iter().all(|s| !s.supports_hedged));
+    let rows = run_survey(39);
+    // No system is tail tolerant by default.
+    assert!(rows.iter().all(|r| !r.default_tail_tolerant()));
+    // Exactly the three no-failover systems surface errors at 100ms.
+    for row in &rows {
+        assert_eq!(
+            row.failover_works(),
+            row.system.failover_on_timeout,
+            "{}",
+            row.system.name
+        );
+        if !row.system.failover_on_timeout {
+            assert!(row.errors_100ms > 0, "{} must error", row.system.name);
+        }
+    }
+}
