@@ -1,5 +1,9 @@
 //! Property-based tests for the §8.2 extension models.
 
+#![cfg(feature = "props")]
+// Gated: `proptest` is a crates.io dependency, unavailable offline.
+// See the root Cargo.toml note to re-enable.
+
 use proptest::prelude::*;
 
 use mitt_beyond::{HeapSpec, ManagedRuntime, SmrDrive, SmrSpec, VmmSchedule};

@@ -2,6 +2,10 @@
 //! arbitrary small configurations and noise, completes every user request
 //! without losing or double-counting operations.
 
+#![cfg(feature = "props")]
+// Gated: `proptest` is a crates.io dependency, unavailable offline.
+// See the root Cargo.toml note to re-enable.
+
 use proptest::prelude::*;
 
 use mitt_cluster::{

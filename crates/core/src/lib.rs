@@ -42,6 +42,8 @@
 //! assert!(decision.is_admit()); // idle disk: no wait predicted
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod audit;
 pub mod inject;
 pub mod mittcache;

@@ -1,5 +1,9 @@
 //! Property-based tests for the MittOS predictors.
 
+#![cfg(feature = "props")]
+// Gated: `proptest` is a crates.io dependency, unavailable offline.
+// See the root Cargo.toml note to re-enable.
+
 use proptest::prelude::*;
 
 use mitt_device::{BlockIo, DiskSpec, IoClass, IoIdGen, ProcessId, SsdSpec, GB};

@@ -235,6 +235,7 @@ impl Disk {
         let fl = self
             .in_flight
             .take()
+            // mitt-lint: allow(R001, "documented panic: see the # Panics contract above")
             .expect("complete() with no in-flight IO");
         assert!(
             now >= fl.done_at,
@@ -254,16 +255,12 @@ impl Disk {
     /// Removes and returns the queued IO with the shortest seek distance
     /// from the current head position.
     fn pick_sstf(&mut self) -> Option<BlockIo> {
-        if self.queue.is_empty() {
-            return None;
-        }
         let head = self.head;
         let (best, _) = self
             .queue
             .iter()
             .enumerate()
-            .min_by_key(|(idx, io)| (io.offset.abs_diff(head), *idx))
-            .expect("non-empty queue");
+            .min_by_key(|(idx, io)| (io.offset.abs_diff(head), *idx))?;
         Some(self.queue.swap_remove(best))
     }
 

@@ -1,0 +1,39 @@
+//! `mitt-lint` — dependency-free determinism & invariant linter for the
+//! MittOS reproduction workspace.
+//!
+//! Every figure in EXPERIMENTS.md is only reproducible if the same seed
+//! yields the same event stream, so nondeterminism is a correctness bug here,
+//! not a style nit. This crate is a hand-rolled static-analysis pass — a mini
+//! tokenizer, not a full parser — that scans every `.rs` file in the
+//! workspace and enforces:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | D001 | wall-clock use (`Instant`, `SystemTime`) outside this crate |
+//! | D002 | ambient entropy (`rand::`, `thread_rng`, ...) outside `simcore::rng` |
+//! | D003 | order-dependent `HashMap`/`HashSet` iteration in non-test code |
+//! | D004 | `thread::sleep`/`std::process`/`env::var` in simulation crates |
+//! | R001 | `unwrap()`/`expect()` in library code of simcore/core/sched/device |
+//! | S001 | undocumented `pub` items in simcore/core |
+//!
+//! Justified violations carry a pragma the scanner honors and tallies:
+//!
+//! ```text
+//! let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+//! keys.sort_unstable(); // mitt-lint: allow(D003, "keys sorted before use")
+//! ```
+//!
+//! The pragma must sit on the offending line or the line directly above it,
+//! and must give a non-empty reason. The companion binary (`cargo run -p
+//! mitt-lint`) prints human-readable or `--json` reports and exits nonzero on
+//! violations; `tests/lint.rs` at the workspace root runs the same scan under
+//! `cargo test`, making the linter a permanent tier-1 gate.
+
+pub mod report;
+pub mod rules;
+pub mod sanitize;
+pub mod workspace;
+
+pub use report::{render_human, render_json};
+pub use rules::{scan_source, FileKind, FileOutcome, Rule, Suppression, Violation};
+pub use workspace::{find_workspace_root, scan_workspace, Report};

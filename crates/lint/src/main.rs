@@ -1,0 +1,82 @@
+//! Command-line front end for `mitt-lint`.
+//!
+//! ```text
+//! cargo run -p mitt-lint            # human-readable report
+//! cargo run -p mitt-lint -- --json  # machine-readable report
+//! cargo run -p mitt-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean, 1 on violations (or malformed
+//! pragmas), 2 on usage or IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mitt_lint::{find_workspace_root, render_human, render_json, scan_workspace};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mitt-lint: --root needs a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mitt-lint [--json] [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mitt-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("mitt-lint: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "mitt-lint: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mitt-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

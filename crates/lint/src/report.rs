@@ -1,0 +1,145 @@
+//! Human-readable and JSON rendering of a [`Report`].
+//!
+//! The JSON writer is hand-rolled (the linter is dependency-free by
+//! contract); it emits a stable field order so diffs of archived reports are
+//! meaningful.
+
+use crate::rules::Rule;
+use crate::workspace::Report;
+
+/// Renders the human-readable report.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n    {}\n",
+            v.file,
+            v.line,
+            v.rule.summary(),
+            v.rule.id(),
+            v.message,
+            v.snippet
+        ));
+    }
+    for (file, line, note) in &report.malformed_pragmas {
+        out.push_str(&format!("{file}:{line}: [pragma] {note}\n"));
+    }
+    for (file, line, note) in &report.unused_pragmas {
+        out.push_str(&format!("{file}:{line}: warning: [pragma] {note}\n"));
+    }
+    let mut per_rule: Vec<(Rule, usize, usize)> = Rule::ALL
+        .iter()
+        .map(|&r| {
+            (
+                r,
+                report.violations.iter().filter(|v| v.rule == r).count(),
+                report.suppressed.iter().filter(|s| s.rule == r).count(),
+            )
+        })
+        .collect();
+    per_rule.retain(|&(_, v, s)| v + s > 0);
+    out.push_str(&format!(
+        "mitt-lint: {} file(s) scanned, {} violation(s), {} suppressed by pragma\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    ));
+    for (rule, viol, supp) in per_rule {
+        out.push_str(&format!(
+            "  {}: {} violation(s), {} suppressed — {}\n",
+            rule.id(),
+            viol,
+            supp,
+            rule.summary()
+        ));
+    }
+    out
+}
+
+/// Renders the `--json` report.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(v.rule.id()),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.message),
+            json_str(&v.snippet)
+        ));
+    }
+    out.push_str(if report.violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"suppressed\": [");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+            json_str(s.rule.id()),
+            json_str(&s.file),
+            s.line,
+            json_str(&s.reason)
+        ));
+    }
+    out.push_str(if report.suppressed.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str(&format!(
+        "  \"malformed_pragmas\": {},\n  \"unused_pragmas\": {},\n  \"clean\": {}\n}}\n",
+        report.malformed_pragmas.len(),
+        report.unused_pragmas.len(),
+        report.is_clean()
+    ));
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let r = Report::default();
+        let j = render_json(&r);
+        assert!(j.contains("\"clean\": true"));
+        assert!(j.contains("\"violations\": []"));
+    }
+}

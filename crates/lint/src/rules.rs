@@ -1,0 +1,798 @@
+//! The determinism and invariant rules.
+//!
+//! Every rule works on the sanitized, attribute-blanked code view produced by
+//! [`crate::sanitize`], so comments, string literals, and attribute arguments
+//! can never trigger a finding. See DESIGN.md "Determinism rules" for the
+//! rationale behind each rule ID.
+
+use crate::sanitize::Sanitized;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock use (`Instant`, `SystemTime`) outside the lint crate.
+    D001,
+    /// External entropy (`rand::`, `thread_rng`, ...) outside `simcore::rng`.
+    D002,
+    /// Order-dependent iteration over `HashMap`/`HashSet`.
+    D003,
+    /// Host-environment escape hatches (`thread::sleep`, `std::process`,
+    /// `env::var`) inside simulation crates.
+    D004,
+    /// `unwrap()`/`expect()` in non-test library code of the core crates.
+    R001,
+    /// Undocumented `pub` item in `simcore`/`core`.
+    S001,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::D001,
+        Rule::D002,
+        Rule::D003,
+        Rule::D004,
+        Rule::R001,
+        Rule::S001,
+    ];
+
+    /// The stable rule ID used in reports and pragmas.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::D004 => "D004",
+            Rule::R001 => "R001",
+            Rule::S001 => "S001",
+        }
+    }
+
+    /// One-line description used in report headers.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D001 => "wall-clock time source in simulation code",
+            Rule::D002 => "ambient entropy outside simcore::rng",
+            Rule::D003 => "order-dependent HashMap/HashSet iteration",
+            Rule::D004 => "host-environment access in a simulation crate",
+            Rule::R001 => "unwrap()/expect() in core library code",
+            Rule::S001 => "undocumented public item",
+        }
+    }
+
+    /// Parses a rule ID as written in a pragma.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a crate: all rules apply.
+    Library,
+    /// `tests/`, `benches/`, or `examples/`: exempt from [`Rule::D003`],
+    /// [`Rule::R001`], and [`Rule::S001`].
+    TestOnly,
+}
+
+/// One rule finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative display path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What specifically matched.
+    pub message: String,
+}
+
+/// A violation silenced by a `// mitt-lint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule that would have fired.
+    pub rule: Rule,
+    /// Workspace-relative display path.
+    pub file: String,
+    /// 1-based line number of the silenced finding.
+    pub line: usize,
+    /// Justification text from the pragma.
+    pub reason: String,
+}
+
+/// A parsed `mitt-lint: allow(RULE, "reason")` pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    line: usize,
+    rule: Rule,
+    reason: String,
+    used: bool,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived pragma filtering.
+    pub violations: Vec<Violation>,
+    /// Findings silenced by a pragma.
+    pub suppressed: Vec<Suppression>,
+    /// Pragmas that matched no finding (kept visible so stale pragmas rot
+    /// loudly instead of silently).
+    pub unused_pragmas: Vec<(usize, String)>,
+    /// Pragma comments that failed to parse.
+    pub malformed_pragmas: Vec<(usize, String)>,
+}
+
+/// Simulation crates for [`Rule::D004`]: everything driven by virtual time.
+const SIM_CRATES: [&str; 9] = [
+    "simcore", "device", "sched", "oscache", "core", "workload", "lsm", "beyond", "cluster",
+];
+
+/// Crates whose library code must be panic-free for [`Rule::R001`].
+const R001_CRATES: [&str; 4] = ["simcore", "core", "sched", "device"];
+
+/// Crates whose public API must be documented for [`Rule::S001`].
+const S001_CRATES: [&str; 2] = ["simcore", "core"];
+
+/// Scans one file's source text and applies every applicable rule.
+///
+/// `crate_name` is the workspace directory name (`simcore`, `core`, ...) or
+/// `"."` for the root crate; `display_path` is used verbatim in findings.
+pub fn scan_source(
+    crate_name: &str,
+    kind: FileKind,
+    display_path: &str,
+    source: &str,
+) -> FileOutcome {
+    let san = crate::sanitize::sanitize(source);
+    let original_lines: Vec<&str> = source.lines().collect();
+    let code_lines = san.code_lines();
+    let test_lines = test_region_lines(&san);
+    let mut out = FileOutcome::default();
+    let mut pragmas = collect_pragmas(&san, &mut out.malformed_pragmas);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let ctx = Ctx {
+        crate_name,
+        kind,
+        display_path,
+        code_lines: &code_lines,
+        original_lines: &original_lines,
+        test_lines: &test_lines,
+        san: &san,
+    };
+    rule_d001(&ctx, &mut raw);
+    rule_d002(&ctx, &mut raw);
+    rule_d003(&ctx, &mut raw);
+    rule_d004(&ctx, &mut raw);
+    rule_r001(&ctx, &mut raw);
+    rule_s001(&ctx, &mut raw);
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    for v in raw {
+        // A pragma suppresses a finding on its own line or the line below it.
+        let hit = pragmas
+            .iter_mut()
+            .find(|p| p.rule == v.rule && (p.line == v.line || p.line + 1 == v.line));
+        if let Some(p) = hit {
+            p.used = true;
+            out.suppressed.push(Suppression {
+                rule: v.rule,
+                file: v.file,
+                line: v.line,
+                reason: p.reason.clone(),
+            });
+        } else {
+            out.violations.push(v);
+        }
+    }
+    for p in pragmas {
+        if !p.used {
+            out.unused_pragmas
+                .push((p.line, format!("allow({}) matched no finding", p.rule.id())));
+        }
+    }
+    out
+}
+
+/// Shared per-file context handed to each rule.
+struct Ctx<'a> {
+    crate_name: &'a str,
+    kind: FileKind,
+    display_path: &'a str,
+    code_lines: &'a [&'a str],
+    original_lines: &'a [&'a str],
+    test_lines: &'a [bool],
+    san: &'a Sanitized,
+}
+
+impl Ctx<'_> {
+    fn in_test(&self, line_1based: usize) -> bool {
+        self.test_lines
+            .get(line_1based - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn snippet(&self, line_1based: usize) -> String {
+        self.original_lines
+            .get(line_1based - 1)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    fn push(&self, out: &mut Vec<Violation>, rule: Rule, line: usize, message: String) {
+        out.push(Violation {
+            rule,
+            file: self.display_path.to_string(),
+            line,
+            snippet: self.snippet(line),
+            message,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token matching helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `pat` in `line` as a standalone token path: the characters just
+/// before and after the match must not be identifier characters.
+fn find_token(line: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pat) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_ident_char(line[..abs].chars().next_back().unwrap_or(' '));
+        let after = line[abs + pat.len()..].chars().next().unwrap_or(' ');
+        let pat_ends_ident = pat.chars().next_back().map(is_ident_char).unwrap_or(false);
+        let after_ok = !pat_ends_ident || !is_ident_char(after);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + pat.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Test-region tracking
+// ---------------------------------------------------------------------------
+
+/// Returns, for each line (0-based index), whether it lies inside a test
+/// region: an item annotated `#[cfg(test)]`/`#[test]`, or a `mod tests` block.
+fn test_region_lines(san: &Sanitized) -> Vec<bool> {
+    let chars: Vec<char> = san.code.chars().collect();
+    let n_lines = san.code.lines().count();
+    let mut flags = vec![false; n_lines.max(1)];
+
+    // depth[i] = brace depth just before chars[i]; line_of[i] = 1-based line.
+    let mut depth_at = Vec::with_capacity(chars.len() + 1);
+    let mut line_of = Vec::with_capacity(chars.len() + 1);
+    let mut d = 0i32;
+    let mut ln = 1usize;
+    for &c in &chars {
+        depth_at.push(d);
+        line_of.push(ln);
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            '\n' => ln += 1,
+            _ => {}
+        }
+    }
+    depth_at.push(d);
+    line_of.push(ln);
+
+    let mut mark = |from_line: usize, to_line: usize| {
+        for l in from_line..=to_line {
+            if let Some(f) = flags.get_mut(l - 1) {
+                *f = true;
+            }
+        }
+    };
+
+    // Scan from a byte offset for the end of the item that starts there:
+    // either a `;` at the starting depth (no body) or the `}` closing the
+    // first brace that opens at the starting depth.
+    let item_end_line = |start: usize| -> usize {
+        let d0 = depth_at[start];
+        let mut i = start;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == ';' && depth_at[i] == d0 {
+                return line_of[i];
+            }
+            if c == '{' {
+                let mut j = i + 1;
+                while j < chars.len() {
+                    if chars[j] == '}' && depth_at[j + 1] == d0 {
+                        return line_of[j];
+                    }
+                    j += 1;
+                }
+                return *line_of.last().unwrap_or(&1);
+            }
+            if c == '}' && depth_at[i + 1] < d0 {
+                // Item list ended before the attribute found a body.
+                return line_of[i];
+            }
+            i += 1;
+        }
+        *line_of.last().unwrap_or(&1)
+    };
+
+    // Attribute triggers: #[test], #[cfg(test)], #[cfg(all(test, ...))] ...
+    // but not #[cfg(not(test))], which marks *non*-test code.
+    for attr in &san.attributes {
+        let a = attr.normalized.as_str();
+        let is_test_attr = a.ends_with("[test]")
+            || (a.contains("cfg(") && find_token(a, "test") && !a.contains("not(test"));
+        if !is_test_attr {
+            continue;
+        }
+        if attr.inner {
+            // `#![cfg(test)]` gates the whole file.
+            mark(1, n_lines.max(1));
+        } else if attr.end_offset < chars.len() {
+            mark(attr.line, item_end_line(attr.end_offset));
+        }
+    }
+
+    // `mod tests {` / `mod test {` triggers (belt and braces: such modules are
+    // conventionally cfg(test)-gated, but track them even when the attribute
+    // is missing).
+    let mut offset = 0usize;
+    for (idx, line) in san.code.lines().enumerate() {
+        if find_token(line, "mod tests") || find_token(line, "mod test") {
+            let col = line.find("mod").unwrap_or(0);
+            mark(idx + 1, item_end_line(offset + col));
+        }
+        offset += line.chars().count() + 1;
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+/// Extracts `mitt-lint: allow(RULE, "reason")` pragmas from comments;
+/// unparseable ones are reported through `malformed`.
+fn collect_pragmas(san: &Sanitized, malformed: &mut Vec<(usize, String)>) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for c in &san.comments {
+        // A pragma must be the comment's own content ("// mitt-lint: ..."),
+        // not a mention of the syntax somewhere inside documentation prose.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !body.starts_with("mitt-lint:") {
+            continue;
+        }
+        let rest = body["mitt-lint:".len()..].trim_start();
+        // A multi-line block comment pragma applies below its end line.
+        let line = c.line + c.span_lines - 1;
+        if let Some((rule, reason)) = parse_allow(rest) {
+            pragmas.push(Pragma {
+                line,
+                rule,
+                reason,
+                used: false,
+            });
+        } else {
+            malformed.push((
+                line,
+                format!("unparseable pragma (want `mitt-lint: allow(RULE, \"reason\")`): {rest}"),
+            ));
+        }
+    }
+    pragmas
+}
+
+/// Parses `allow(RULE, "reason")`; returns the rule and reason.
+fn parse_allow(s: &str) -> Option<(Rule, String)> {
+    let s = s.strip_prefix("allow(")?;
+    let comma = s.find(',')?;
+    let rule = Rule::parse(s[..comma].trim())?;
+    let rest = s[comma + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let endq = rest.find('"')?;
+    let reason = rest[..endq].to_string();
+    let after = rest[endq + 1..].trim_start();
+    if !after.starts_with(')') || reason.is_empty() {
+        return None;
+    }
+    Some((rule, reason))
+}
+
+// ---------------------------------------------------------------------------
+// D001 — wall-clock time
+// ---------------------------------------------------------------------------
+
+fn rule_d001(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if ctx.crate_name == "lint" {
+        return;
+    }
+    const PATTERNS: [&str; 4] = ["Instant", "SystemTime", "UNIX_EPOCH", "std::time::Instant"];
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        for pat in PATTERNS {
+            if find_token(line, pat) {
+                ctx.push(
+                    out,
+                    Rule::D001,
+                    idx + 1,
+                    format!("`{pat}` reads the wall clock; use virtual `SimTime`"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D002 — ambient entropy
+// ---------------------------------------------------------------------------
+
+fn rule_d002(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if ctx.display_path.ends_with("simcore/src/rng.rs") {
+        return;
+    }
+    const PATTERNS: [&str; 5] = ["rand::", "thread_rng", "from_entropy", "OsRng", "getrandom"];
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        for pat in PATTERNS {
+            if find_token(line, pat) {
+                ctx.push(
+                    out,
+                    Rule::D002,
+                    idx + 1,
+                    format!("`{pat}` is ambient entropy; seed through `simcore::rng::SimRng`"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D003 — order-dependent HashMap/HashSet iteration
+// ---------------------------------------------------------------------------
+
+/// Iteration methods whose order is unspecified on hash containers.
+const ITER_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain()",
+];
+
+/// Statement suffixes that make iteration order immaterial.
+const ORDER_INSENSITIVE_SINKS: [&str; 12] = [
+    ".count()",
+    ".sum()",
+    ".sum::",
+    ".product()",
+    ".min()",
+    ".max()",
+    ".any(",
+    ".all(",
+    ".sort", // collect-then-sort inside the same statement
+    "collect::<HashSet",
+    "collect::<HashMap",
+    "collect::<BTreeMap",
+];
+
+fn rule_d003(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if ctx.kind == FileKind::TestOnly {
+        return;
+    }
+    let map_names = hash_container_names(ctx.code_lines);
+    if map_names.is_empty() {
+        return;
+    }
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if ctx.in_test(line_no) {
+            continue;
+        }
+        let Some(name) = iterated_container(line, &map_names) else {
+            continue;
+        };
+        // Join the statement (this line until a `;` or block open) and check
+        // for an order-insensitive sink.
+        let stmt = join_statement(ctx.code_lines, idx);
+        if ORDER_INSENSITIVE_SINKS.iter().any(|s| stmt.contains(s)) {
+            continue;
+        }
+        ctx.push(
+            out,
+            Rule::D003,
+            line_no,
+            format!(
+                "iteration over hash container `{name}` has unspecified order; \
+                 sort, use BTreeMap, or justify with a pragma"
+            ),
+        );
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file: typed
+/// bindings/fields (`name: HashMap<...>`) and inferred constructor bindings
+/// (`let name = HashMap::new()`).
+fn hash_container_names(lines: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        for ty in ["HashMap", "HashSet"] {
+            // `name: HashMap<` (field, param, or ascribed let).
+            let mut start = 0usize;
+            while let Some(pos) = line[start..].find(ty) {
+                let abs = start + pos;
+                start = abs + ty.len();
+                // `name: HashMap<`, `name: &HashMap<`, `name: &mut HashMap<`.
+                let mut before = line[..abs].trim_end();
+                before = before
+                    .trim_end_matches("&mut")
+                    .trim_end_matches('&')
+                    .trim_end();
+                if let Some(before) = before.strip_suffix(':') {
+                    if let Some(name) = trailing_ident(before) {
+                        push_unique(&mut names, name);
+                    }
+                }
+                // `let [mut] name = HashMap::new()` / `::with_capacity` /
+                // `::default()`.
+                if line[abs + ty.len()..].trim_start().starts_with("::") {
+                    if let Some(eq) = line[..abs].rfind('=') {
+                        let lhs = line[..eq].trim_end();
+                        if let Some(name) = trailing_ident(lhs) {
+                            push_unique(&mut names, name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: String) {
+    if !names.contains(&name) {
+        names.push(name);
+    }
+}
+
+/// The last identifier of a string slice (e.g. binding name before `:`/`=`).
+fn trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &s[start..end];
+    let first = ident.chars().next()?;
+    if first.is_alphabetic() || first == '_' {
+        Some(ident.to_string())
+    } else {
+        None
+    }
+}
+
+/// If `line` iterates a known hash container, returns its name.
+fn iterated_container(line: &str, names: &[String]) -> Option<String> {
+    for name in names {
+        for recv in [format!("{name}"), format!("self.{name}")] {
+            for m in ITER_METHODS {
+                if find_token(line, &format!("{recv}{m}")) {
+                    return Some(name.clone());
+                }
+            }
+            // `for x in &name` / `for (k, v) in &self.name` / `&mut name`.
+            if line.contains(" in ") {
+                for pat in [
+                    format!("in &{recv}"),
+                    format!("in &mut {recv}"),
+                    format!("in {recv}"),
+                ] {
+                    if find_token(line, &pat) {
+                        // `in name.len()` etc. — require the receiver to end
+                        // the expression or be followed by block/paren close.
+                        let after = line
+                            .find(&pat)
+                            .map(|p| line[p + pat.len()..].trim_start())
+                            .unwrap_or("");
+                        if after.is_empty() || after.starts_with('{') {
+                            return Some(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Joins source lines from `start` until the statement ends (a `;`, or a `{`
+/// opening a block), capped at 12 lines.
+fn join_statement<'a>(lines: &[&'a str], start: usize) -> String {
+    let mut stmt = String::new();
+    for line in lines.iter().skip(start).take(12) {
+        stmt.push_str(line);
+        stmt.push(' ');
+        if line.contains(';') || line.trim_end().ends_with('{') {
+            break;
+        }
+    }
+    stmt
+}
+
+// ---------------------------------------------------------------------------
+// D004 — host-environment access in sim crates
+// ---------------------------------------------------------------------------
+
+fn rule_d004(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !SIM_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    const PATTERNS: [&str; 6] = [
+        "thread::sleep",
+        "std::process",
+        "process::exit",
+        "env::var",
+        "env::args",
+        "Command::new",
+    ];
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        for pat in PATTERNS {
+            if find_token(line, pat) {
+                ctx.push(
+                    out,
+                    Rule::D004,
+                    idx + 1,
+                    format!("`{pat}` reaches the host environment from a simulation crate"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R001 — unwrap/expect in core library code
+// ---------------------------------------------------------------------------
+
+fn rule_r001(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !R001_CRATES.contains(&ctx.crate_name) || ctx.kind != FileKind::Library {
+        return;
+    }
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if ctx.in_test(line_no) {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            if line.contains(pat) {
+                ctx.push(
+                    out,
+                    Rule::R001,
+                    line_no,
+                    format!(
+                        "`{}` can panic in library code; return an error, use a \
+                         total method, or justify with a pragma",
+                        pat.trim_start_matches('.')
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// S001 — undocumented pub items
+// ---------------------------------------------------------------------------
+
+fn rule_s001(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if !S001_CRATES.contains(&ctx.crate_name) || ctx.kind != FileKind::Library {
+        return;
+    }
+    // Lines carrying a doc comment (/// or /** ... */ span) or #[doc] attr.
+    let n = ctx.code_lines.len();
+    let mut has_doc = vec![false; n.max(1)];
+    for c in &ctx.san.comments {
+        let t = c.text.trim_start();
+        if t.starts_with("///") || t.starts_with("/**") {
+            for l in c.line..c.line + c.span_lines {
+                if let Some(f) = has_doc.get_mut(l - 1) {
+                    *f = true;
+                }
+            }
+        }
+    }
+    let mut attr_lines = vec![false; n.max(1)];
+    for a in &ctx.san.attributes {
+        if let Some(f) = attr_lines.get_mut(a.line - 1) {
+            *f = true;
+        }
+        if a.normalized.starts_with("#[doc") {
+            if let Some(f) = has_doc.get_mut(a.line - 1) {
+                *f = true;
+            }
+        }
+    }
+
+    const ITEMS: [&str; 11] = [
+        "pub fn",
+        "pub unsafe fn",
+        "pub async fn",
+        "pub struct",
+        "pub enum",
+        "pub trait",
+        "pub const",
+        "pub static",
+        "pub type",
+        "pub mod",
+        "pub union",
+    ];
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if ctx.in_test(line_no) {
+            continue;
+        }
+        let Some(item) = ITEMS.iter().find(|it| find_token(line, it)) else {
+            continue;
+        };
+        // `pub mod name;` re-exports a file module whose docs live in that
+        // file's `//!` block — same exemption rustc's missing_docs applies.
+        if *item == "pub mod" && line.contains(';') && !line.contains('{') {
+            continue;
+        }
+        // Walk upward over attached trivia (attributes, plain comments,
+        // multi-line attribute continuations) looking for a doc comment.
+        let mut documented = has_doc[idx];
+        let mut cursor = idx;
+        while !documented && cursor > 0 {
+            let above = cursor - 1;
+            if has_doc[above] {
+                documented = true;
+                break;
+            }
+            let code_blank = ctx.code_lines[above].trim().is_empty();
+            let orig_blank = ctx
+                .original_lines
+                .get(above)
+                .map(|s| s.trim().is_empty())
+                .unwrap_or(true);
+            // Attribute lines and comment-only lines (blank after
+            // sanitizing, non-blank in the original) are attached trivia;
+            // a genuinely blank line detaches the item from any docs above.
+            if attr_lines[above] || (code_blank && !orig_blank) {
+                cursor = above;
+            } else {
+                break;
+            }
+        }
+        if !documented {
+            ctx.push(
+                out,
+                Rule::S001,
+                line_no,
+                format!(
+                    "`{item}` item is public API of `{}` but has no doc comment",
+                    ctx.crate_name
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! A minimal Rust source sanitizer.
+//!
+//! Rules must never fire on text inside comments or string literals (`"call
+//! .unwrap() here"` is documentation, not a hazard), and test-region tracking
+//! needs brace counting that raw source would defeat (`"{"`). This module
+//! performs one forward pass over the source and produces:
+//!
+//! - a *sanitized* view: same byte layout, with every comment and every
+//!   string/char-literal interior replaced by spaces (newlines preserved so
+//!   line numbers line up);
+//! - the list of comments with their starting line, for pragma and doc-comment
+//!   extraction;
+//! - an *attribute-blanked* view of the sanitized text plus the list of
+//!   attributes, so `#[doc = ...]`-style attribute arguments cannot trigger
+//!   rules while `#[cfg(test)]` regions remain discoverable.
+//!
+//! The scanner understands line comments, nested block comments, string
+//! literals with escapes, raw (byte) strings with arbitrary `#` fences, char
+//! literals, and tells lifetimes (`'a`) apart from char literals (`'a'`).
+
+/// A comment lifted out of the source.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// Raw comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// Number of source lines the comment spans (1 for line comments).
+    pub span_lines: usize,
+}
+
+/// An attribute (`#[...]` or `#![...]`) lifted out of the sanitized source.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// 1-based line on which the attribute starts.
+    pub line: usize,
+    /// Byte offset (into the sanitized text) just past the closing `]`.
+    pub end_offset: usize,
+    /// Attribute text with whitespace squeezed out, e.g. `#[cfg(test)]`.
+    pub normalized: String,
+    /// True for inner attributes (`#![...]`).
+    pub inner: bool,
+}
+
+/// Output of [`sanitize`]: the cleaned views plus extracted trivia.
+#[derive(Debug)]
+pub struct Sanitized {
+    /// Source with comment and literal interiors blanked (layout preserved).
+    pub text: String,
+    /// `text` with attribute spans additionally blanked; rules match on this.
+    pub code: String,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// All attributes, in source order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Sanitized {
+    /// The attribute-blanked code view split into lines.
+    pub fn code_lines(&self) -> Vec<&str> {
+        self.code.lines().collect()
+    }
+}
+
+/// Scanner state for the string/comment pass.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment with current nesting depth.
+    BlockComment(u32),
+    /// Inside `"..."`; byte-string prefix already consumed.
+    Str,
+    /// Inside `r##"..."##` with the given number of `#` fences.
+    RawStr(usize),
+    /// Inside `'...'`.
+    Char,
+}
+
+/// Strips comments and literal interiors from `src`.
+///
+/// The returned views have exactly the same line structure as the input.
+pub fn sanitize(src: &str) -> Sanitized {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut cur_comment = String::new();
+    let mut cur_comment_line = 0usize;
+    let mut i = 0usize;
+
+    // Push a blanked char: newlines survive, everything else becomes a space.
+    fn blank(out: &mut Vec<char>, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur_comment_line = line;
+                    cur_comment.clear();
+                    cur_comment.push_str("//");
+                    blank(&mut out, c);
+                    blank(&mut out, '/');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur_comment_line = line;
+                    cur_comment.clear();
+                    cur_comment.push_str("/*");
+                    blank(&mut out, c);
+                    blank(&mut out, '*');
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"..", r#".."#, br#".."#; the introducer is
+                // kept out of the sanitized text entirely.
+                if c == 'r' || (c == 'b' && next == Some('r')) {
+                    let start = if c == 'b' { i + 2 } else { i + 1 };
+                    let mut hashes = 0usize;
+                    let mut j = start;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        // Only a raw string if `r` starts an identifier-free
+                        // position (avoid matching inside identifiers like
+                        // `attr"` is impossible, but `foo_r#"` would be).
+                        let prev_ident =
+                            i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_');
+                        if !prev_ident {
+                            for k in i..=j {
+                                blank(&mut out, bytes[k]);
+                            }
+                            i = j + 1;
+                            state = State::RawStr(hashes);
+                            continue;
+                        }
+                    }
+                }
+                if c == '"' || (c == 'b' && next == Some('"')) {
+                    let prev_ident = c == 'b'
+                        && i > 0
+                        && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_');
+                    if !prev_ident {
+                        blank(&mut out, c);
+                        if c == 'b' {
+                            blank(&mut out, '"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                        state = State::Str;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime: a lifetime
+                    // is `'ident` with no closing quote right after one
+                    // "character" worth of payload.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(n) if n != '\'' => bytes.get(i + 2) == Some(&'\''),
+                        _ => false,
+                    };
+                    if is_char {
+                        blank(&mut out, c);
+                        i += 1;
+                        state = State::Char;
+                        continue;
+                    }
+                }
+                out.push(c);
+                i += 1;
+                if c == '\n' {
+                    line += 1;
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    comments.push(Comment {
+                        line: cur_comment_line,
+                        text: cur_comment.clone(),
+                        span_lines: 1,
+                    });
+                    out.push('\n');
+                    line += 1;
+                    state = State::Code;
+                } else {
+                    cur_comment.push(c);
+                    blank(&mut out, c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur_comment.push_str("/*");
+                    blank(&mut out, c);
+                    blank(&mut out, '*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    cur_comment.push_str("*/");
+                    blank(&mut out, c);
+                    blank(&mut out, '/');
+                    i += 2;
+                    if depth == 1 {
+                        comments.push(Comment {
+                            line: cur_comment_line,
+                            text: cur_comment.clone(),
+                            span_lines: line - cur_comment_line + 1,
+                        });
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else {
+                    cur_comment.push(c);
+                    blank(&mut out, c);
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    blank(&mut out, c);
+                    if let Some(n) = next {
+                        blank(&mut out, n);
+                        if n == '\n' {
+                            line += 1;
+                        }
+                    }
+                    i += 2;
+                } else {
+                    blank(&mut out, c);
+                    if c == '\n' {
+                        line += 1;
+                    } else if c == '"' {
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for k in i..=(i + hashes) {
+                            blank(&mut out, *bytes.get(k).unwrap_or(&' '));
+                        }
+                        i += hashes + 1;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                blank(&mut out, c);
+                if c == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    blank(&mut out, c);
+                    if let Some(n) = next {
+                        blank(&mut out, n);
+                    }
+                    i += 2;
+                } else {
+                    blank(&mut out, c);
+                    if c == '\'' {
+                        state = State::Code;
+                    } else if c == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Unterminated line comment at EOF.
+    if let State::LineComment = state {
+        comments.push(Comment {
+            line: cur_comment_line,
+            text: cur_comment.clone(),
+            span_lines: 1,
+        });
+    }
+
+    let text: String = out.into_iter().collect();
+    let (code, attributes) = blank_attributes(&text);
+    Sanitized {
+        text,
+        code,
+        comments,
+        attributes,
+    }
+}
+
+/// Finds `#[...]` / `#![...]` spans in the sanitized text, returning a copy
+/// with those spans blanked plus the extracted attributes.
+fn blank_attributes(text: &str) -> (String, Vec<Attribute>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = chars.clone();
+    let mut attrs = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            let mut j = i + 1;
+            let inner = chars.get(j) == Some(&'!');
+            if inner {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'[') {
+                // Match the bracket run to its closing `]`.
+                let start_line = line;
+                let mut depth = 0i32;
+                let mut k = j;
+                let mut normalized = String::from(if inner { "#![" } else { "#[" });
+                let mut end = None;
+                while k < chars.len() {
+                    let a = chars[k];
+                    if a == '\n' {
+                        line += 1;
+                    }
+                    if a == '[' {
+                        depth += 1;
+                    } else if a == ']' {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(k);
+                            break;
+                        }
+                    }
+                    if depth >= 1 && a != '[' && !a.is_whitespace() {
+                        normalized.push(a);
+                    }
+                    k += 1;
+                }
+                if let Some(end) = end {
+                    normalized.push(']');
+                    for slot in out.iter_mut().take(end + 1).skip(i) {
+                        if *slot != '\n' {
+                            *slot = ' ';
+                        }
+                    }
+                    attrs.push(Attribute {
+                        line: start_line,
+                        end_offset: end + 1,
+                        normalized,
+                        inner,
+                    });
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    (out.into_iter().collect(), attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = sanitize("let x = 1; // unwrap() here\n/* multi\nline */ let y = 2;\n");
+        assert!(!s.text.contains("unwrap"));
+        assert!(!s.text.contains("multi"));
+        assert!(s.text.contains("let y = 2;"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+        assert_eq!(s.comments[1].span_lines, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = sanitize("a /* x /* y */ z */ b\n");
+        assert!(s.text.contains('a'));
+        assert!(s.text.contains('b'));
+        assert!(!s.text.contains('y'));
+        assert!(!s.text.contains('z'));
+    }
+
+    #[test]
+    fn strips_string_interiors_keeps_layout() {
+        let src = "let s = \"rand::thread_rng()\";\nlet t = 1;\n";
+        let s = sanitize(src);
+        assert!(!s.text.contains("thread_rng"));
+        assert_eq!(s.text.lines().count(), src.lines().count());
+        assert!(s.text.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let s = sanitize("let s = r#\"has \"quotes\" and unwrap()\"#; let x = 3;\n");
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("let x = 3;"));
+        let s = sanitize("let b = br##\"bytes \"# inside\"##; let y = 4;\n");
+        assert!(!s.text.contains("inside"));
+        assert!(s.text.contains("let y = 4;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = sanitize("fn f<'a>(x: &'a str) -> char { '{' }\n");
+        // The lifetime must survive; the char literal brace must not.
+        assert!(s.text.contains("'a"));
+        assert!(!s.text.contains("'{'"));
+        let s2 = sanitize("let c = '\\n'; let d = 'x';\n");
+        assert!(!s2.text.contains('x'));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let s = sanitize("let s = \"a\\\"b unwrap() c\"; let k = 5;\n");
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("let k = 5;"));
+    }
+
+    #[test]
+    fn attributes_blanked_but_recorded() {
+        let src = "#[cfg(test)]\nmod tests {}\n#[doc = \"pub fn fake\"]\npub fn real() {}\n";
+        let s = sanitize(src);
+        assert!(s.code.contains("mod tests"));
+        assert!(!s.code.contains("cfg"));
+        assert_eq!(s.attributes.len(), 2);
+        assert_eq!(s.attributes[0].normalized, "#[cfg(test)]");
+        assert_eq!(s.attributes[0].line, 1);
+        // The doc attribute's payload was a string: already stripped.
+        assert!(!s.text.contains("fake"));
+    }
+
+    #[test]
+    fn comment_text_preserved_for_pragmas() {
+        let s = sanitize("let x = 1; // mitt-lint: allow(D003, \"reason\")\n");
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("mitt-lint: allow(D003"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Workspace discovery and whole-tree scanning.
+//!
+//! The walker is deliberately boring: it enumerates `.rs` files under the
+//! workspace root in sorted order (so reports are byte-stable run to run),
+//! classifies each file by crate and kind, and feeds it to the rule engine.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{scan_source, FileKind, FileOutcome, Suppression, Violation};
+
+/// Aggregated result of scanning a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// All pragma-silenced findings, same order.
+    pub suppressed: Vec<Suppression>,
+    /// Unused pragmas as (file, line, note).
+    pub unused_pragmas: Vec<(String, usize, String)>,
+    /// Malformed pragmas as (file, line, note).
+    pub malformed_pragmas: Vec<(String, usize, String)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean (no violations, no malformed
+    /// pragmas — unused pragmas are warnings only).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.malformed_pragmas.is_empty()
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "results", ".cargo"];
+
+/// Finds the workspace root at or above `start` (a directory containing a
+/// `Cargo.toml` with a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Scans every `.rs` file under `root` and aggregates the findings.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (crate_name, kind) = classify(&rel);
+        let source = fs::read_to_string(&path)?;
+        let FileOutcome {
+            violations,
+            suppressed,
+            unused_pragmas,
+            malformed_pragmas,
+        } = scan_source(&crate_name, kind, &rel, &source);
+        report.files_scanned += 1;
+        report.violations.extend(violations);
+        report.suppressed.extend(suppressed);
+        report
+            .unused_pragmas
+            .extend(unused_pragmas.into_iter().map(|(l, n)| (rel.clone(), l, n)));
+        report.malformed_pragmas.extend(
+            malformed_pragmas
+                .into_iter()
+                .map(|(l, n)| (rel.clone(), l, n)),
+        );
+    }
+    Ok(report)
+}
+
+/// Classifies a workspace-relative path into (crate directory name, kind).
+fn classify(rel: &str) -> (String, FileKind) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        ".".to_string()
+    };
+    let kind = if parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+    {
+        FileKind::TestOnly
+    } else {
+        FileKind::Library
+    };
+    (crate_name, kind)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/simcore/src/rng.rs"),
+            ("simcore".to_string(), FileKind::Library)
+        );
+        assert_eq!(
+            classify("crates/sched/tests/prop.rs"),
+            ("sched".to_string(), FileKind::TestOnly)
+        );
+        assert_eq!(classify("src/lib.rs"), (".".to_string(), FileKind::Library));
+        assert_eq!(
+            classify("examples/quickstart.rs"),
+            (".".to_string(), FileKind::TestOnly)
+        );
+        assert_eq!(
+            classify("crates/bench/benches/micro.rs"),
+            ("bench".to_string(), FileKind::TestOnly)
+        );
+    }
+}

@@ -243,7 +243,10 @@ impl LsmEngine {
         self.cache_stamp += 1;
         self.cache.insert(id, self.cache_stamp);
         if self.cache.len() > self.cfg.table_cache_capacity {
-            if let Some((&evict, _)) = self.cache.iter().min_by_key(|&(_, &s)| s) {
+            // Stamps are unique (monotonic counter), but tie-break on the
+            // table id anyway so eviction can never depend on map layout.
+            // mitt-lint: allow(D003, "min over (stamp, id) keys is order-insensitive")
+            if let Some((&evict, _)) = self.cache.iter().min_by_key(|(&t, &s)| (s, t)) {
                 self.cache.remove(&evict);
             }
         }

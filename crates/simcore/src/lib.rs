@@ -10,17 +10,23 @@
 //!   distributions ([`dist`]) used by workload and noise generators.
 //! - [`LatencyRecorder`] and friends ([`stats`]): exact percentile/CDF
 //!   statistics matching how the paper reports results.
+//! - [`Fnv1a`] ([`digest`]): order-sensitive result digests backing the
+//!   double-run determinism harness.
 //!
 //! Determinism is a hard requirement: given a seed, every experiment binary
 //! reproduces its figure bit-for-bit. Nothing in this crate reads the wall
 //! clock or ambient entropy.
 
+#![warn(missing_docs)]
+
+pub mod digest;
 pub mod dist;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use digest::Fnv1a;
 pub use dist::Distribution;
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;

@@ -145,8 +145,9 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
             if self.cancelled.contains(&entry.seq) {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.seq);
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
                 continue;
             }
             return Some(entry.at);

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Canonical local gate for this repo (recorded in ROADMAP.md). Runs the
+# same checks CI would: formatting, a release build (the workspace lints
+# are deny-level, so this doubles as the warning gate), the mitt-lint
+# determinism/invariant scan, and the test suite (which itself re-runs
+# the lint via tests/lint.rs and the double-run digest check via
+# tests/determinism.rs).
+#
+# Usage: scripts/check.sh   (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    # Toolchain without rustfmt (e.g. minimal containers): skip, don't fail.
+    echo "   rustfmt not installed; skipping"
+fi
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== mitt-lint --json"
+cargo run --quiet -p mitt-lint -- --json
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ok: all checks passed"
