@@ -29,7 +29,9 @@ pub mod report;
 pub mod setups;
 
 pub use replay::{classify, p95_wait, replay_audit, replay_audit_with_ablation, AuditStats};
-pub use report::{print_cdf, print_percentiles, print_reductions, reduction_at};
+pub use report::{
+    print_cdf, print_percentiles, print_reductions, print_trace_report, reduction_at,
+};
 pub use setups::{
     ec2_cache_noise, ec2_disk_noise, ec2_ssd_noise, fig5_config, measure_p95, ops_from_env,
     steady_noise_on,

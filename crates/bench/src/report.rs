@@ -5,6 +5,7 @@
 //! percentage-latency-reduction bars of Figures 5b/6d/7b/8b.
 
 use mitt_sim::{reduction_pct, Duration, LatencyRecorder};
+use mitt_trace::TraceSink;
 
 /// Percentiles the paper's bar charts report.
 pub const BAR_PERCENTILES: [(&str, f64); 5] = [
@@ -96,6 +97,18 @@ pub fn reduction_at(other: &mut LatencyRecorder, ours: &mut LatencyRecorder, p: 
     reduction_pct(bar_value(other, p), bar_value(ours, p))
 }
 
+/// Prints the per-run trace report (rejection counts by subsystem,
+/// per-node EBUSY rates, prediction-error histogram) of a traced
+/// experiment. No-op header when the run was not traced.
+pub fn print_trace_report(title: &str, trace: &TraceSink) {
+    println!("\n## {title}");
+    if !trace.is_enabled() {
+        println!("(run was not traced; set `ExperimentConfig::trace = true`)");
+        return;
+    }
+    print!("{}", trace.report_text());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +137,9 @@ mod tests {
         let mut ours = rec(1);
         let mut others = vec![("b", rec(2))];
         print_reductions("t", "a", &mut ours, &mut others);
+        print_trace_report("t", &TraceSink::disabled());
+        let sink = TraceSink::enabled(64);
+        sink.count("node.submit", 3);
+        print_trace_report("t", &sink);
     }
 }

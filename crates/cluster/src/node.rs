@@ -27,6 +27,8 @@ use mitt_device::{
 use mitt_oscache::{PageCache, PageCacheConfig};
 use mitt_sched::{Cfq, CfqConfig, DiskScheduler, Noop};
 use mitt_sim::{Duration, SimRng, SimTime};
+use mitt_trace::report::{CACHE_HIT_COUNTER, EBUSY_COUNTER, PREDICT_ERROR_HIST, SUBMIT_COUNTER};
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 use mittos::{
     decide, profile_disk, profile_ssd, CacheVerdict, Decision, DiskProfile, ErrorInjector,
     MittCache, MittCfq, MittNoop, MittSsd, Slo, ADDRCHECK_COST,
@@ -393,6 +395,10 @@ pub struct Node {
     fill_after_read: HashSet<IoId>,
     hop: Duration,
     ebusy_times: Vec<SimTime>,
+    trace: TraceSink,
+    /// Predicted wait of each admitted, traced IO, resolved against the
+    /// actual wait at completion to feed the prediction-error histogram.
+    pred_wait: HashMap<IoId, Duration>,
 }
 
 impl Node {
@@ -404,7 +410,8 @@ impl Node {
             // disk's state is untouched.
             let mut scratch = Disk::new(d.spec.clone(), rng.fork());
             let mut prof_rng = rng.fork();
-            let profile = profile_disk(&mut scratch, d.profile_samples, &mut prof_rng);
+            let profile = profile_disk(&mut scratch, d.profile_samples, &mut prof_rng)
+                .expect("scratch disk is idle and exclusively owned");
             let disk = Disk::new(d.spec.clone(), rng.fork());
             let (sched, mitt): (Box<dyn DiskScheduler>, DiskMitt) = match d.sched {
                 SchedKind::Noop => (
@@ -458,7 +465,31 @@ impl Node {
             fill_after_read: HashSet::new(),
             hop: cfg.hop,
             ebusy_times: Vec::new(),
+            trace: TraceSink::disabled(),
+            pred_wait: HashMap::new(),
         }
+    }
+
+    /// Attaches a trace sink, tagging every event with this node's id and
+    /// propagating node-scoped handles to the predictors, the scheduler
+    /// and the disk so the whole stack records into one ring.
+    pub fn set_trace(&mut self, sink: &TraceSink) {
+        let sink = sink.for_node(self.id as u32);
+        if let Some(ds) = &mut self.disk {
+            match &mut ds.mitt {
+                DiskMitt::Noop(m) => m.set_trace(sink.clone()),
+                DiskMitt::Cfq(m) => m.set_trace(sink.clone()),
+            }
+            ds.sched.set_trace(sink.clone());
+            ds.disk.set_trace(sink.clone());
+        }
+        if let Some(ss) = &mut self.ssd {
+            ss.mitt.set_trace(sink.clone());
+        }
+        if let Some(cs) = &mut self.cache {
+            cs.mitt.set_trace(sink.clone());
+        }
+        self.trace = sink;
     }
 
     /// Runs pre-IO request-handler CPU work; returns when the IO can start.
@@ -479,6 +510,7 @@ impl Node {
 
     /// Submits a read through the MittOS stack.
     pub fn submit_read(&mut self, req: &ReadReq, now: SimTime) -> Submission {
+        self.trace.count(SUBMIT_COUNTER, 1);
         // mmap/addrcheck path: consult the page cache first.
         if req.via_cache {
             if let Some(cs) = &mut self.cache {
@@ -487,6 +519,15 @@ impl Node {
                     CacheVerdict::Hit => {
                         cs.cache.access(req.offset, req.len);
                         let latency = cs.cache.config().hit_latency + ADDRCHECK_COST;
+                        self.trace.count(CACHE_HIT_COUNTER, 1);
+                        self.trace.emit(
+                            now,
+                            Subsystem::Node,
+                            EventKind::CacheHit {
+                                io: req.offset,
+                                latency,
+                            },
+                        );
                         return Submission {
                             outcome: ReadOutcome::CacheHit { latency },
                             bumped: Vec::new(),
@@ -494,6 +535,15 @@ impl Node {
                     }
                     CacheVerdict::Busy { .. } => {
                         self.ebusy_times.push(now);
+                        self.trace.count(EBUSY_COUNTER, 1);
+                        self.trace.emit(
+                            now,
+                            Subsystem::Node,
+                            EventKind::Reject {
+                                io: req.offset,
+                                predicted_wait: Duration::MAX,
+                            },
+                        );
                         // Keep swapping the data in at Idle priority so the
                         // tenant's cache share is not starved (§4.4).
                         let ticks = self.submit_refill(req.offset, req.len, req.medium, now);
@@ -532,6 +582,14 @@ impl Node {
         if let Some(d) = req.deadline {
             io = io.with_deadline(d);
         }
+        self.trace.emit(
+            now,
+            Subsystem::Node,
+            EventKind::Submit {
+                io: io.id.0,
+                len: io.len,
+            },
+        );
         io
     }
 
@@ -540,6 +598,38 @@ impl Node {
             Medium::Disk => self.submit_disk(req, IoKind::Read, now),
             Medium::Ssd => self.submit_ssd(req, IoKind::Read, now),
         }
+    }
+
+    /// Records a predictor decision: the `predict` event plus the
+    /// subsystem's admit/reject counter. The *raw* verdict is recorded,
+    /// so audit mode and error injection do not distort predictor stats.
+    fn emit_predict(
+        &mut self,
+        sub: Subsystem,
+        io: &BlockIo,
+        wait: Duration,
+        admit: bool,
+        now: SimTime,
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.emit(
+            now,
+            sub,
+            EventKind::Predict {
+                io: io.id.0,
+                predicted_wait: wait,
+                deadline: io.deadline,
+                admitted: admit,
+            },
+        );
+        let counter = if admit {
+            sub.admit_counter()
+        } else {
+            sub.reject_counter()
+        };
+        self.trace.count(counter, 1);
     }
 
     /// Applies the audit/injection policy to a raw decision; returns the
@@ -574,11 +664,25 @@ impl Node {
         let wait = ds.mitt.predicted_wait(&io, now);
         let slo = io.deadline.map(Slo::deadline);
         let raw = decide(wait, slo, self.hop);
+        let sub = match ds.mitt {
+            DiskMitt::Noop(_) => Subsystem::MittNoop,
+            DiskMitt::Cfq(_) => Subsystem::MittCfq,
+        };
+        self.emit_predict(sub, &io, wait, raw.is_admit(), now);
         let decision = self.policy(&io, raw);
         let ds = self.disk.as_mut().expect("node has no disk stack");
         match decision {
             Decision::Reject { predicted_wait } => {
                 self.ebusy_times.push(now);
+                self.trace.count(EBUSY_COUNTER, 1);
+                self.trace.emit(
+                    now,
+                    Subsystem::Node,
+                    EventKind::Reject {
+                        io: io.id.0,
+                        predicted_wait,
+                    },
+                );
                 Submission {
                     outcome: ReadOutcome::Busy {
                         predicted_wait,
@@ -588,6 +692,9 @@ impl Node {
                 }
             }
             Decision::Admit { .. } => {
+                if self.trace.is_enabled() {
+                    self.pred_wait.insert(io.id, wait);
+                }
                 let mut bumped = ds.mitt.account(&io, now);
                 if self.disable_bump_cancel {
                     // Ablation: pretend the tolerable-time table does not
@@ -606,6 +713,16 @@ impl Node {
                     for id in &bumped {
                         ds.sched.cancel(*id);
                         self.ebusy_times.push(now);
+                        self.trace.count(EBUSY_COUNTER, 1);
+                        self.trace.emit(
+                            now,
+                            Subsystem::Node,
+                            EventKind::Reject {
+                                io: id.0,
+                                predicted_wait: Duration::MAX,
+                            },
+                        );
+                        self.pred_wait.remove(id);
                     }
                 }
                 let io_id = io.id;
@@ -633,11 +750,21 @@ impl Node {
         let wait = ss.mitt.predicted_wait(&io, now);
         let slo = io.deadline.map(Slo::deadline);
         let raw = decide(wait, slo, self.hop);
+        self.emit_predict(Subsystem::MittSsd, &io, wait, raw.is_admit(), now);
         let decision = self.policy(&io, raw);
         let ss = self.ssd.as_mut().expect("node has no SSD stack");
         match decision {
             Decision::Reject { predicted_wait } => {
                 self.ebusy_times.push(now);
+                self.trace.count(EBUSY_COUNTER, 1);
+                self.trace.emit(
+                    now,
+                    Subsystem::Node,
+                    EventKind::Reject {
+                        io: io.id.0,
+                        predicted_wait,
+                    },
+                );
                 Submission {
                     outcome: ReadOutcome::Busy {
                         predicted_wait,
@@ -647,6 +774,9 @@ impl Node {
                 }
             }
             Decision::Admit { .. } => {
+                if self.trace.is_enabled() {
+                    self.pred_wait.insert(io.id, wait);
+                }
                 ss.mitt.account(&io, now);
                 let out = ss.ssd.submit(&io, now);
                 for gc in &out.gc {
@@ -724,12 +854,16 @@ impl Node {
     /// Panics if the node has no disk stack or no IO is in flight.
     pub fn on_disk_tick(&mut self, now: SimTime) -> DiskTickOut {
         let ds = self.disk.as_mut().expect("node has no disk stack");
-        let (fin, out) = ds.sched.on_complete(&mut ds.disk, now);
+        let (fin, out) = ds
+            .sched
+            .on_complete(&mut ds.disk, now)
+            .expect("disk tick scheduled, so an IO is in flight");
         ds.mitt.on_complete(fin.io.id, fin.service);
         for id in &out.dispatched {
             ds.mitt.on_dispatch(*id, now);
         }
         let wait = fin.started_at.saturating_since(fin.io.submit);
+        self.resolve_prediction(fin.io.id, wait, now);
         if let Some(open) = self.audit_open.remove(&fin.io.id) {
             self.audit_pairs.push(AuditPair {
                 predicted_wait: open.predicted_wait,
@@ -776,6 +910,7 @@ impl Node {
             return None;
         }
         let pend = ss.pending.remove(&key.io).expect("entry exists");
+        self.resolve_prediction(key.io, pend.worst_wait, now);
         if let Some(open) = self.audit_open.remove(&key.io) {
             self.audit_pairs.push(AuditPair {
                 predicted_wait: open.predicted_wait,
@@ -795,6 +930,26 @@ impl Node {
         })
     }
 
+    /// Emits the node-level completion event and resolves the IO's
+    /// prediction-error sample (|predicted - actual| wait).
+    fn resolve_prediction(&mut self, id: IoId, actual_wait: Duration, now: SimTime) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.emit(
+            now,
+            Subsystem::Node,
+            EventKind::Complete {
+                io: id.0,
+                wait: actual_wait,
+            },
+        );
+        if let Some(predicted) = self.pred_wait.remove(&id) {
+            let err = predicted.as_nanos().abs_diff(actual_wait.as_nanos());
+            self.trace.observe_ns(PREDICT_ERROR_HIST, err);
+        }
+    }
+
     /// Cancels a still-queued disk IO (tied-request revocation). Returns
     /// true if the IO was revoked before reaching the device.
     pub fn cancel_read(&mut self, id: IoId) -> bool {
@@ -804,6 +959,7 @@ impl Node {
         if ds.sched.cancel(id).is_some() {
             ds.mitt.on_cancel(id);
             self.fill_after_read.remove(&id);
+            self.pred_wait.remove(&id);
             true
         } else {
             false

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use mitt_device::{IoClass, IoId, ProcessId, SubIoKey, GB};
 use mitt_lsm::{GetStep, LsmConfig, LsmEngine};
 use mitt_sim::{Duration, EventQueue, LatencyRecorder, SimRng, SimTime};
+use mitt_trace::{EventKind, Subsystem, TraceSink, CLUSTER_NODE, DEFAULT_RING_CAPACITY};
 use mitt_workload::{KeyDist, NoiseBurst, YcsbConfig, YcsbGenerator};
 use mittos::DeadlineTuner;
 
@@ -234,6 +235,10 @@ pub struct ExperimentConfig {
     /// until the other replicas are no longer stale"), at the price of
     /// sometimes waiting out the busy-but-fresh replica.
     pub monotonic_guard: bool,
+    /// Record a structured event trace and metrics registry for the run
+    /// (every node plus the cluster driver share one bounded ring); the
+    /// sink lands in [`ExperimentResult::trace`].
+    pub trace: bool,
 }
 
 impl ExperimentConfig {
@@ -264,6 +269,7 @@ impl ExperimentConfig {
             mmap_btree: None,
             replication_lag: Duration::ZERO,
             monotonic_guard: false,
+            trace: false,
         }
     }
 
@@ -294,6 +300,7 @@ impl ExperimentConfig {
             mmap_btree: None,
             replication_lag: Duration::ZERO,
             monotonic_guard: false,
+            trace: false,
         }
     }
 }
@@ -330,6 +337,9 @@ pub struct ExperimentResult {
     pub watch: Option<WatchLog>,
     /// Virtual time when the workload finished.
     pub finished_at: SimTime,
+    /// The run's trace sink (disabled unless [`ExperimentConfig::trace`]
+    /// was set): export with `export_chrome_json()` / `report_text()`.
+    pub trace: TraceSink,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -576,12 +586,20 @@ impl ClusterSim {
                 stale_reads: 0,
                 watch: cfg.watch_node.map(|_| WatchLog::default()),
                 finished_at: SimTime::ZERO,
+                trace: TraceSink::disabled(),
             },
             completed_users: 0,
             target_users,
             usable,
             cfg,
         };
+        if sim.cfg.trace {
+            let sink = TraceSink::enabled(DEFAULT_RING_CAPACITY);
+            for node in &mut sim.nodes {
+                node.set_trace(&sink);
+            }
+            sim.result.trace = sink.for_node(CLUSTER_NODE);
+        }
         sim.setup();
         sim
     }
@@ -840,6 +858,14 @@ impl ClusterSim {
     }
 
     fn start_op(&mut self, op: usize, now: SimTime) {
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::SpanBegin {
+                name: "op",
+                id: op as u64,
+            },
+        );
         match self.cfg.strategy.clone() {
             Strategy::Base | Strategy::AppTimeout { .. } | Strategy::NosqlProfile { .. } => {
                 let replica_idx = self.pick_initial(op);
@@ -1376,6 +1402,7 @@ impl ClusterSim {
                     if tries < self.cfg.replication {
                         self.result.retries += 1;
                         let next_node = self.ops[op].replicas[tries % self.ops[op].replicas.len()];
+                        self.emit_failover(op, node, next_node, now);
                         let d = self.deadline_for(op, tries);
                         self.send_try(op, next_node, now, d);
                     } else if matches!(self.cfg.strategy, Strategy::MittOsWait { .. }) {
@@ -1388,6 +1415,7 @@ impl ClusterSim {
                             .min_by_key(|&&(_, w)| w)
                             .copied()
                             .expect("at least one busy reply");
+                        self.emit_failover(op, node, best_node, now);
                         self.send_try(op, best_node, now, None);
                     } else {
                         // All tries rejected even with the deadline
@@ -1403,6 +1431,20 @@ impl ClusterSim {
                 }
             }
         }
+    }
+
+    /// Records an EBUSY-triggered replica switch in the trace.
+    fn emit_failover(&mut self, op: usize, from: usize, to: usize, now: SimTime) {
+        self.result.trace.count("cluster.failover", 1);
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::Failover {
+                op: op as u64,
+                from: from as u32,
+                to: to as u32,
+            },
+        );
     }
 
     fn complete_op(&mut self, op: usize, served_attempt: usize, now: SimTime) {
@@ -1434,6 +1476,14 @@ impl ClusterSim {
             }
         }
         self.ops[op].done = true;
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::SpanEnd {
+                name: "op",
+                id: op as u64,
+            },
+        );
         let latency = now.saturating_since(self.ops[op].started);
         self.result.get_latencies.record(latency);
         let user = self.ops[op].user;
@@ -1462,6 +1512,15 @@ impl ClusterSim {
             .copied()
             .find(|&r| r != first)
             .unwrap_or(first);
+        self.result.trace.count("cluster.hedge", 1);
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::Hedge {
+                op: op as u64,
+                to: next as u32,
+            },
+        );
         self.send_try(op, next, now, None);
     }
 

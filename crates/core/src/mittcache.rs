@@ -15,6 +15,7 @@
 
 use mitt_oscache::{PageCache, RangeCheck};
 use mitt_sim::Duration;
+use mitt_trace::{Subsystem, TraceSink};
 
 use crate::slo::Slo;
 
@@ -49,13 +50,24 @@ pub struct MittCache {
     /// Smallest possible latency of the storage layer below the cache; a
     /// deadline below this means "I expect a cache hit".
     min_io_latency: Duration,
+    trace: TraceSink,
 }
 
 impl MittCache {
     /// Creates a checker; `min_io_latency` is the floor of the backing
     /// device (e.g. ~100 µs for the SSD, ~2 ms for the disk).
     pub fn new(min_io_latency: Duration) -> Self {
-        MittCache { min_io_latency }
+        MittCache {
+            min_io_latency,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Attaches a trace sink; every check bumps an admit/reject counter.
+    /// (`check` takes no timestamp, so MittCache contributes metrics only;
+    /// the cache-hit *events* are emitted by the node, which knows `now`.)
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The storage floor used for the residency-expectation test.
@@ -73,6 +85,7 @@ impl MittCache {
     ) -> CacheVerdict {
         let rc: RangeCheck = cache.addrcheck(offset, len);
         if rc.resident {
+            self.trace.count(Subsystem::MittCache.admit_counter(), 1);
             return CacheVerdict::Hit;
         }
         if let Some(slo) = slo {
@@ -80,11 +93,13 @@ impl MittCache {
             // Only *contention* (swapped-out pages) earns an EBUSY; cold
             // first-time accesses fall through to the device.
             if slo.deadline < self.min_io_latency && rc.contended {
+                self.trace.count(Subsystem::MittCache.reject_counter(), 1);
                 return CacheVerdict::Busy {
                     refill: rc.missing_pages,
                 };
             }
         }
+        self.trace.count(Subsystem::MittCache.admit_counter(), 1);
         CacheVerdict::Miss {
             missing_pages: rc.missing_pages,
             contended: rc.contended,

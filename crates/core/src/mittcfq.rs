@@ -24,6 +24,7 @@ use std::collections::{HashMap, HashSet};
 
 use mitt_device::{BlockIo, IoClass, IoId, ProcessId};
 use mitt_sim::{Duration, SimTime};
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 
 use crate::profile::DiskProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -82,6 +83,7 @@ pub struct MittCfq {
     admitted: u64,
     rejected: u64,
     bumped_total: u64,
+    trace: TraceSink,
 }
 
 impl MittCfq {
@@ -99,7 +101,14 @@ impl MittCfq {
             admitted: 0,
             rejected: 0,
             bumped_total: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; every admission decision emits a `predict`
+    /// event and bump-cancels are counted.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     fn bucket_of(ns: i64) -> i64 {
@@ -143,13 +152,25 @@ impl MittCfq {
         let wait = self.predicted_wait(io.class, io.priority, io.owner, now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
+        self.trace.emit(
+            now,
+            Subsystem::MittCfq,
+            EventKind::Predict {
+                io: io.id.0,
+                predicted_wait: wait,
+                deadline: io.deadline,
+                admitted: decision.is_admit(),
+            },
+        );
         if let Decision::Reject { .. } = decision {
             self.rejected += 1;
+            self.trace.count(Subsystem::MittCfq.reject_counter(), 1);
             return CfqAdmission {
                 decision,
                 bumped: Vec::new(),
             };
         }
+        self.trace.count(Subsystem::MittCfq.admit_counter(), 1);
         let bumped = self.account(io, now);
         CfqAdmission { decision, bumped }
     }
@@ -231,6 +252,7 @@ impl MittCfq {
                 // Deadline hopeless: cancel with late EBUSY.
                 self.remove_queued(id);
                 self.bumped_total += 1;
+                self.trace.count("mittcfq.bumped", 1);
                 bumped.push(id);
             } else {
                 if let Some(rec) = self.queued.get_mut(&id) {

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use mitt_device::{BlockIo, IoId};
 use mitt_sim::{Duration, SimTime};
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 
 use crate::profile::DiskProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -36,6 +37,7 @@ pub struct MittNoop {
     pending: HashMap<IoId, i64>,
     rejected: u64,
     admitted: u64,
+    trace: TraceSink,
 }
 
 impl MittNoop {
@@ -49,7 +51,14 @@ impl MittNoop {
             pending: HashMap::new(),
             rejected: 0,
             admitted: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; every admission decision emits a `predict`
+    /// event.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Predicted wait for an IO arriving at `now` (before admission).
@@ -70,9 +79,25 @@ impl MittNoop {
         let wait = self.predicted_wait(now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
+        self.trace.emit(
+            now,
+            Subsystem::MittNoop,
+            EventKind::Predict {
+                io: io.id.0,
+                predicted_wait: wait,
+                deadline: io.deadline,
+                admitted: decision.is_admit(),
+            },
+        );
         match decision {
-            Decision::Reject { .. } => self.rejected += 1,
-            Decision::Admit { .. } => self.account(io, now),
+            Decision::Reject { .. } => {
+                self.rejected += 1;
+                self.trace.count(Subsystem::MittNoop.reject_counter(), 1);
+            }
+            Decision::Admit { .. } => {
+                self.account(io, now);
+                self.trace.count(Subsystem::MittNoop.admit_counter(), 1);
+            }
         }
         decision
     }

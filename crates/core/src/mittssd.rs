@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use mitt_device::{BlockIo, IoId, IoKind, SsdSpec};
 use mitt_sim::{Duration, SimTime};
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 
 use crate::profile::SsdProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -42,6 +43,7 @@ pub struct MittSsd {
     pending: HashMap<(IoId, u32), SubRec>,
     admitted: u64,
     rejected: u64,
+    trace: TraceSink,
 }
 
 impl MittSsd {
@@ -61,7 +63,14 @@ impl MittSsd {
             pending: HashMap::new(),
             admitted: 0,
             rejected: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; every admission decision emits a `predict`
+    /// event.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     fn chip_of_page(&self, lpn: u64) -> usize {
@@ -103,10 +112,22 @@ impl MittSsd {
         let wait = self.predicted_wait(io, now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
+        self.trace.emit(
+            now,
+            Subsystem::MittSsd,
+            EventKind::Predict {
+                io: io.id.0,
+                predicted_wait: wait,
+                deadline: io.deadline,
+                admitted: decision.is_admit(),
+            },
+        );
         if let Decision::Reject { .. } = decision {
             self.rejected += 1;
+            self.trace.count(Subsystem::MittSsd.reject_counter(), 1);
             return decision;
         }
+        self.trace.count(Subsystem::MittSsd.admit_counter(), 1);
         self.account(io, now);
         decision
     }

@@ -22,6 +22,43 @@
 use mitt_device::{BlockIo, Disk, IoIdGen, ProcessId, Ssd, GB};
 use mitt_sim::{Duration, SimRng, SimTime};
 
+/// Why a measurement-based profiling run could not complete.
+///
+/// The profiler assumes exclusive ownership of an idle device: every probe
+/// is submitted to an empty queue and drained before the next one. A busy
+/// or shared device violates that protocol and surfaces here instead of
+/// panicking inside the probe loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A probe was refused admission: the disk queue was not empty.
+    QueueNotDrained,
+    /// A probe was queued behind another IO instead of starting at once.
+    DeviceBusy,
+    /// A drain step found no in-flight IO to complete.
+    NothingInFlight,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::QueueNotDrained => {
+                write!(f, "probe refused: disk queue not drained before probing")
+            }
+            ProfileError::DeviceBusy => {
+                write!(
+                    f,
+                    "probe queued: device busy, profiler needs exclusive access"
+                )
+            }
+            ProfileError::NothingInFlight => {
+                write!(f, "drain found no in-flight IO to complete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// Fitted linear service-time model of a disk.
 #[derive(Debug, Clone, Copy)]
 pub struct DiskProfile {
@@ -73,10 +110,12 @@ fn least_squares_3(xs: &[(f64, f64)], ys: &[f64]) -> [f64; 3] {
     }
     // Gaussian elimination with partial pivoting.
     for col in 0..3 {
-        let pivot = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            // mitt-lint: allow(R001, "col < 3, so the range is never empty")
-            .expect("non-empty range");
+        let mut pivot = col;
+        for row in (col + 1)..3 {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
         a.swap(col, pivot);
         b.swap(col, pivot);
         assert!(a[col][col].abs() > 1e-12, "singular design matrix");
@@ -100,10 +139,35 @@ fn least_squares_3(xs: &[(f64, f64)], ys: &[f64]) -> [f64; 3] {
     beta
 }
 
+/// Submits one probe to an idle disk, runs it to completion, and returns
+/// the finished IO with the clock advanced past it.
+fn run_probe(
+    disk: &mut Disk,
+    io: BlockIo,
+    now: &mut SimTime,
+) -> Result<mitt_device::FinishedIo, ProfileError> {
+    let started = disk
+        .submit(io, *now)
+        .map_err(|_| ProfileError::QueueNotDrained)?
+        .ok_or(ProfileError::DeviceBusy)?;
+    *now = started.done_at;
+    let (fin, _) = disk
+        .complete(*now)
+        .map_err(|_| ProfileError::NothingInFlight)?;
+    Ok(fin)
+}
+
 /// Profiles a disk by measurement: `samples` probe IOs at random distances
 /// and sizes, fitted by least squares. The one-time offline step of §4.1
 /// (11 hours on real hardware; instantaneous in virtual time).
-pub fn profile_disk(disk: &mut Disk, samples: usize, rng: &mut SimRng) -> DiskProfile {
+///
+/// Fails with [`ProfileError`] if the disk is not idle and exclusively
+/// owned for the duration of the run.
+pub fn profile_disk(
+    disk: &mut Disk,
+    samples: usize,
+    rng: &mut SimRng,
+) -> Result<DiskProfile, ProfileError> {
     assert!(samples >= 16, "too few probe IOs for a stable fit");
     let mut ids = IoIdGen::new();
     let owner = ProcessId(u32::MAX); // profiler pseudo-process
@@ -116,38 +180,24 @@ pub fn profile_disk(disk: &mut Disk, samples: usize, rng: &mut SimRng) -> DiskPr
         // Position the head somewhere known...
         let from = rng.range_u64(0, capacity);
         let pos = BlockIo::read(ids.next_id(), from, 4096, owner, now);
-        let started = disk
-            .submit(pos, now)
-            // mitt-lint: allow(R001, "profiler owns the disk; admission cannot fail")
-            .expect("profiler runs on an idle disk")
-            // mitt-lint: allow(R001, "disk drained before every probe, so it starts at once")
-            .expect("idle disk starts immediately");
-        now = started.done_at;
-        let (fin, _) = disk.complete(now);
+        let fin = run_probe(disk, pos, &mut now)?;
         let head = fin.io.end_offset();
         // ...then measure a probe IO at a controlled distance and size.
         let to = rng.range_u64(0, capacity);
         let len = sizes[i % sizes.len()];
         let probe = BlockIo::read(ids.next_id(), to, len, owner, now);
-        let started = disk
-            .submit(probe, now)
-            // mitt-lint: allow(R001, "profiler owns the disk; admission cannot fail")
-            .expect("idle")
-            // mitt-lint: allow(R001, "disk drained before every probe, so it starts at once")
-            .expect("idle disk starts immediately");
-        now = started.done_at;
-        let (fin, _) = disk.complete(now);
+        let fin = run_probe(disk, probe, &mut now)?;
         let dist_gb = head.abs_diff(to) as f64 / GB as f64;
         let kib = f64::from(len) / 1024.0;
         xs.push((dist_gb, kib));
         ys.push(fin.service.as_nanos() as f64);
     }
     let [base, per_gb, per_kib] = least_squares_3(&xs, &ys);
-    DiskProfile {
+    Ok(DiskProfile {
         base_ns: base,
         per_gb_ns: per_gb,
         per_kib_ns: per_kib,
-    }
+    })
 }
 
 /// Measured SSD timing model: what the MittSSD predictor consults.
@@ -252,7 +302,7 @@ mod tests {
         let spec = DiskSpec::default();
         let mut disk = Disk::new(spec.clone(), SimRng::new(11));
         let mut rng = SimRng::new(12);
-        let fitted = profile_disk(&mut disk, 2000, &mut rng);
+        let fitted = profile_disk(&mut disk, 2000, &mut rng).expect("idle scratch disk");
         let truth = DiskProfile::from_spec(&spec);
         // Slopes within 5%, intercept within 0.3ms: the rotational noise
         // averages out over 2000 probes.
@@ -304,6 +354,19 @@ mod tests {
         for i in 0..spec.pages_per_block {
             assert_eq!(prof.prog_time(i), spec.prog_time(i), "page {i}");
         }
+    }
+
+    #[test]
+    fn profiling_a_busy_disk_reports_error() {
+        let mut disk = Disk::new(DiskSpec::default(), SimRng::new(1));
+        let mut ids = IoIdGen::new();
+        let io = BlockIo::read(ids.next_id(), 0, 4096, ProcessId(7), SimTime::ZERO);
+        disk.submit(io, SimTime::ZERO).expect("empty queue");
+        let mut rng = SimRng::new(2);
+        assert!(matches!(
+            profile_disk(&mut disk, 16, &mut rng),
+            Err(ProfileError::DeviceBusy)
+        ));
     }
 
     #[test]

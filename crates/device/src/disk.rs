@@ -14,6 +14,7 @@
 //! calibration diffs (<3ms) reported in §7.6.
 
 use mitt_sim::{Duration, SimRng, SimTime};
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 
 use crate::io::{BlockIo, IoId};
 
@@ -118,6 +119,19 @@ impl std::fmt::Display for DiskFull {
 
 impl std::error::Error for DiskFull {}
 
+/// Error returned by [`Disk::complete`] when no IO is in flight — the
+/// completion tick raced a cancellation or was scheduled twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoInflight;
+
+impl std::fmt::Display for NoInflight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "complete() with no in-flight IO")
+    }
+}
+
+impl std::error::Error for NoInflight {}
+
 struct InFlight {
     io: BlockIo,
     started_at: SimTime,
@@ -133,6 +147,7 @@ pub struct Disk {
     queue: Vec<BlockIo>,
     in_flight: Option<InFlight>,
     served: u64,
+    trace: TraceSink,
 }
 
 impl Disk {
@@ -145,7 +160,13 @@ impl Disk {
             queue: Vec::new(),
             in_flight: None,
             served: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; the device emits dispatch/complete events.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The device's static parameters.
@@ -204,6 +225,8 @@ impl Disk {
             done_at,
             service,
         });
+        self.trace
+            .emit(now, Subsystem::Disk, EventKind::Dispatch { io: id.0 });
         Started { id, done_at }
     }
 
@@ -227,29 +250,36 @@ impl Disk {
 
     /// Completes the in-flight IO and starts the SSTF-nearest queued IO.
     ///
+    /// Returns [`NoInflight`] if no IO is executing — a completion tick
+    /// that raced a cancellation, or a double-scheduled tick. The device
+    /// state is untouched in that case.
+    ///
     /// # Panics
     ///
-    /// Panics if no IO is in flight or if called before the in-flight IO's
-    /// completion time.
-    pub fn complete(&mut self, now: SimTime) -> (FinishedIo, Option<Started>) {
-        let fl = self
-            .in_flight
-            .take()
-            // mitt-lint: allow(R001, "documented panic: see the # Panics contract above")
-            .expect("complete() with no in-flight IO");
+    /// Panics if called before the in-flight IO's completion time.
+    pub fn complete(&mut self, now: SimTime) -> Result<(FinishedIo, Option<Started>), NoInflight> {
+        let fl = self.in_flight.take().ok_or(NoInflight)?;
         assert!(
             now >= fl.done_at,
             "complete() at {now} before done_at {}",
             fl.done_at
         );
         self.served += 1;
+        self.trace.emit(
+            now,
+            Subsystem::Disk,
+            EventKind::Complete {
+                io: fl.io.id.0,
+                wait: fl.service,
+            },
+        );
         let finished = FinishedIo {
             io: fl.io,
             started_at: fl.started_at,
             service: fl.service,
         };
         let next = self.pick_sstf().map(|io| self.start(io, now));
-        (finished, next)
+        Ok((finished, next))
     }
 
     /// Removes and returns the queued IO with the shortest seek distance
@@ -311,12 +341,12 @@ mod tests {
         let s0 = d.submit(rd(&mut g, 0), SimTime::ZERO).unwrap().unwrap();
         assert!(d.submit(rd(&mut g, GB), SimTime::ZERO).unwrap().is_none());
         assert_eq!(d.occupancy(), 2);
-        let (fin, next) = d.complete(s0.done_at);
+        let (fin, next) = d.complete(s0.done_at).unwrap();
         assert_eq!(fin.io.id, IoId(0));
         let next = next.expect("second IO starts");
         assert_eq!(next.id, IoId(1));
         assert!(next.done_at > s0.done_at);
-        let (_, none) = d.complete(next.done_at);
+        let (_, none) = d.complete(next.done_at).unwrap();
         assert!(none.is_none());
         assert!(d.is_idle());
         assert_eq!(d.served(), 2);
@@ -335,7 +365,7 @@ mod tests {
         let near = rd(&mut g, 110 * GB); // id 2
         d.submit(far, SimTime::ZERO).unwrap();
         d.submit(near, SimTime::ZERO).unwrap();
-        let (_, next) = d.complete(s.done_at);
+        let (_, next) = d.complete(s.done_at).unwrap();
         assert_eq!(next.unwrap().id, IoId(2), "SSTF must pick the near IO");
     }
 
@@ -362,7 +392,7 @@ mod tests {
         // In-flight IO is not cancellable through the queue interface.
         assert!(d.cancel_queued(s.id).is_none());
         assert!(d.cancel_queued(IoId(1)).is_some());
-        let (_, next) = d.complete(s.done_at);
+        let (_, next) = d.complete(s.done_at).unwrap();
         assert!(next.is_none(), "cancelled IO must not start");
     }
 
@@ -379,7 +409,7 @@ mod tests {
         for _ in 0..n {
             d.head = 0;
             let s = d.submit(rd(&mut g, 300 * GB), now).unwrap().unwrap();
-            let (fin, _) = d.complete(s.done_at);
+            let (fin, _) = d.complete(s.done_at).unwrap();
             total += fin.service;
             now = s.done_at;
         }
@@ -389,6 +419,30 @@ mod tests {
             (mean_ms - expected_ms).abs() < 0.15,
             "mean {mean_ms}ms vs expected {expected_ms}ms"
         );
+    }
+
+    #[test]
+    fn complete_without_inflight_reports_error() {
+        let mut d = disk();
+        assert_eq!(d.complete(SimTime::ZERO).unwrap_err(), NoInflight);
+        let mut g = IoIdGen::new();
+        let s = d.submit(rd(&mut g, 0), SimTime::ZERO).unwrap().unwrap();
+        d.complete(s.done_at).unwrap();
+        // Second completion for the same tick: device is idle again.
+        assert_eq!(d.complete(s.done_at).unwrap_err(), NoInflight);
+    }
+
+    #[test]
+    fn traced_disk_emits_dispatch_and_complete() {
+        let sink = TraceSink::enabled(16);
+        let mut d = disk();
+        d.set_trace(sink.for_node(3));
+        let mut g = IoIdGen::new();
+        let s = d.submit(rd(&mut g, 0), SimTime::ZERO).unwrap().unwrap();
+        d.complete(s.done_at).unwrap();
+        let kinds: Vec<_> = sink.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["dispatch", "complete"]);
+        assert!(sink.events().iter().all(|e| e.node == 3));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! let mut ids = IoIdGen::new();
 //! let io = BlockIo::read(ids.next_id(), 500 * GB, 4096, ProcessId(1), SimTime::ZERO);
 //! let started = disk.submit(io, SimTime::ZERO).unwrap().unwrap();
-//! let (finished, _) = disk.complete(started.done_at);
+//! let (finished, _) = disk.complete(started.done_at).unwrap();
 //! // A 4KB random read lands in the 6-10ms ballpark of the paper's disks.
 //! assert!(finished.service.as_millis() >= 3);
 //! ```
@@ -35,7 +35,7 @@ pub mod io;
 pub mod nvram;
 pub mod ssd;
 
-pub use disk::{Disk, DiskFull, DiskSpec, FinishedIo, Started, GB};
+pub use disk::{Disk, DiskFull, DiskSpec, FinishedIo, NoInflight, Started, GB};
 pub use io::{BlockIo, IoClass, IoId, IoIdGen, IoKind, ProcessId};
 pub use nvram::NvramBuffer;
 pub use ssd::{GcBurst, Ssd, SsdSpec, SsdSubmit, SubCompletion, SubIoKey};

@@ -33,7 +33,7 @@ proptest! {
         let mut cur = tick.expect("at least one IO started");
         loop {
             now = cur.done_at;
-            let (fin, next) = disk.complete(now);
+            let (fin, next) = disk.complete(now).expect("in-flight IO");
             prop_assert!(done.insert(fin.io.id), "duplicate completion");
             match next {
                 Some(n) => cur = n,
@@ -54,10 +54,10 @@ proptest! {
         // Park the head at `from`.
         let park = BlockIo::read(ids.next_id(), from * GB, 0, ProcessId(0), SimTime::ZERO);
         let s = disk.submit(park, SimTime::ZERO).unwrap().unwrap();
-        let (_, _) = disk.complete(s.done_at);
+        let (_, _) = disk.complete(s.done_at).expect("in-flight IO");
         let io = BlockIo::read(ids.next_id(), to * GB, 4096, ProcessId(0), s.done_at);
         let s2 = disk.submit(io, s.done_at).unwrap().unwrap();
-        let (fin, _) = disk.complete(s2.done_at);
+        let (fin, _) = disk.complete(s2.done_at).expect("in-flight IO");
         let lo = spec.cmd_overhead + spec.seek_cost(disk.spec().capacity.min(from * GB), to * GB)
             + spec.transfer_cost(4096);
         let hi = lo + spec.rot_max;

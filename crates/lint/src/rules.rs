@@ -525,8 +525,9 @@ fn rule_d003(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
 }
 
 /// Collects identifiers bound to `HashMap`/`HashSet` in this file: typed
-/// bindings/fields (`name: HashMap<...>`) and inferred constructor bindings
-/// (`let name = HashMap::new()`).
+/// bindings/fields (`name: HashMap<...>`), inferred constructor bindings
+/// (`let name = HashMap::new()`), and bindings of calls to local functions
+/// declared to return a hash container (`let name = build_index()`).
 fn hash_container_names(lines: &[&str]) -> Vec<String> {
     let mut names = Vec::new();
     for line in lines {
@@ -560,8 +561,69 @@ fn hash_container_names(lines: &[&str]) -> Vec<String> {
             }
         }
     }
+    // Second pass: a binding of a call to a local function whose declared
+    // return type is a hash container is itself a hash container, even with
+    // no type ascription at the call site: `let m = build_index(); for k in
+    // m.keys()` must still fire.
+    for f in hash_returning_fns(lines) {
+        for pat in [
+            format!("= {f}("),
+            format!("= self.{f}("),
+            format!("= Self::{f}("),
+        ] {
+            for line in lines {
+                let mut start = 0usize;
+                while let Some(pos) = line[start..].find(&pat) {
+                    let abs = start + pos;
+                    start = abs + pat.len();
+                    let lhs = &line[..abs];
+                    // Skip `==`, `!=`, `<=`, `>=`, compound assignment, etc.
+                    if lhs.ends_with(['=', '!', '<', '>', '+', '-', '*', '/', '%', '&', '|', '^']) {
+                        continue;
+                    }
+                    if let Some(name) = trailing_ident(lhs) {
+                        push_unique(&mut names, name);
+                    }
+                }
+            }
+        }
+    }
     names.sort();
     names
+}
+
+/// Names of functions declared in this file whose (single-line) signature
+/// returns a `HashMap`/`HashSet`, directly or wrapped (`Option<HashMap<..>>`,
+/// `&HashMap<..>`). Multi-line signatures are joined by `join_statement` at
+/// the `fn` line, so rustfmt-wrapped declarations are covered too.
+fn hash_returning_fns(lines: &[&str]) -> Vec<String> {
+    let mut fns = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(fn_pos) = line.find("fn ") else {
+            continue;
+        };
+        // Reject identifiers merely ending in "fn " (none exist in Rust, but
+        // keep the token check symmetric with the rest of the engine).
+        if fn_pos > 0 && is_ident_char(line.as_bytes()[fn_pos - 1] as char) {
+            continue;
+        }
+        let name: String = line[fn_pos + 3..]
+            .chars()
+            .take_while(|c| is_ident_char(*c))
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let sig = join_statement(lines, idx);
+        let Some(arrow) = sig.find("->") else {
+            continue;
+        };
+        let ret = &sig[arrow + 2..];
+        if ret.contains("HashMap<") || ret.contains("HashSet<") {
+            push_unique(&mut fns, name);
+        }
+    }
+    fns
 }
 
 fn push_unique(names: &mut Vec<String>, name: String) {

@@ -134,6 +134,37 @@ fn d003_misses_order_insensitive_sinks_and_btreemap() {
 }
 
 #[test]
+fn d003_tracks_maps_returned_from_function_calls() {
+    // No ascription at the call site: the binding inherits hash-container
+    // status from the local function's declared return type.
+    let src = "fn build_index() -> HashMap<u64, u64> { HashMap::new() }\n\
+               fn f() { let idx = build_index(); \
+               for k in idx.keys() { let _ = k; } }\n";
+    assert_eq!(lint("core", FileKind::Library, src), vec![(Rule::D003, 2)]);
+    // Methods and rustfmt-wrapped multi-line signatures are covered too.
+    let src = "impl S {\n\
+               fn snapshot(\n\
+                   &self,\n\
+               ) -> HashSet<u64> {\n\
+                   self.live.clone()\n\
+               }\n\
+               fn g(&self) { let s = self.snapshot(); \
+               for k in &s { let _ = k; } }\n\
+               }\n";
+    assert_eq!(lint("sched", FileKind::Library, src), vec![(Rule::D003, 7)]);
+    // Order-insensitive sinks still exempt the call-result binding.
+    let src = "fn build_index() -> HashMap<u64, u64> { HashMap::new() }\n\
+               fn f() -> u64 { let idx = build_index(); idx.values().sum() }\n";
+    assert!(lint_rules("core", src).is_empty());
+    // A same-named binding of something else must not fire: the function
+    // here returns a Vec, not a hash container.
+    let src = "fn build_index() -> Vec<u64> { Vec::new() }\n\
+               fn f() { let idx = build_index(); \
+               for k in idx.iter() { let _ = k; } }\n";
+    assert!(lint_rules("core", src).is_empty());
+}
+
+#[test]
 fn d003_pragma_suppressed() {
     let src = "struct S { pending: HashMap<u64, u64> }\n\
                impl S { fn f(&self) {\n\

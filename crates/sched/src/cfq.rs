@@ -16,9 +16,11 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use mitt_device::{BlockIo, Disk, FinishedIo, IoClass, IoId, ProcessId};
+use mitt_device::{BlockIo, Disk, FinishedIo, IoClass, IoId, NoInflight, ProcessId};
 use mitt_sim::SimTime;
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 
+use crate::noop::QUEUED_SPAN;
 use crate::{DiskScheduler, DispatchOut};
 
 /// Tuning knobs for CFQ.
@@ -50,7 +52,12 @@ fn class_idx(class: IoClass) -> usize {
     }
 }
 
-struct Node {
+/// One process's queue inside a service tree. Nodes live *in* the
+/// round-robin deque, so "every rr entry has a node" holds by construction
+/// rather than as a cross-container invariant between a pid list and a
+/// pid-keyed map.
+struct ProcNode {
+    pid: ProcessId,
     queue: BTreeMap<(u64, IoId), BlockIo>,
     credit: i64,
     priority: u8,
@@ -58,13 +65,17 @@ struct Node {
 
 #[derive(Default)]
 struct Tree {
-    nodes: HashMap<ProcessId, Node>,
-    rr: VecDeque<ProcessId>,
+    /// Round-robin order of active process nodes; front is next to serve.
+    rr: VecDeque<ProcNode>,
 }
 
 impl Tree {
     fn pending(&self) -> usize {
-        self.nodes.values().map(|n| n.queue.len()).sum()
+        self.rr.iter().map(|n| n.queue.len()).sum()
+    }
+
+    fn node_mut(&mut self, pid: ProcessId) -> Option<&mut ProcNode> {
+        self.rr.iter_mut().find(|n| n.pid == pid)
     }
 }
 
@@ -75,6 +86,7 @@ pub struct Cfq {
     /// IoId -> (tree index, owner, offset): exact location for O(1) cancel.
     index: HashMap<IoId, (usize, ProcessId, u64)>,
     in_device: usize,
+    trace: TraceSink,
 }
 
 impl Cfq {
@@ -85,6 +97,7 @@ impl Cfq {
             trees: Default::default(),
             index: HashMap::new(),
             in_device: 0,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -98,37 +111,31 @@ impl Cfq {
     }
 
     /// Picks the next IO to dispatch according to CFQ policy, or `None` if
-    /// all trees are empty.
+    /// all trees are empty. Because nodes live in the rr deque, the front
+    /// node *is* the one being served — there is no pid-to-map lookup that
+    /// could dangle.
     fn pick(&mut self) -> Option<BlockIo> {
         let quantum_base = self.cfg.base_quantum;
         for tree in &mut self.trees {
-            while let Some(&pid) = tree.rr.front() {
-                // TODO(ROADMAP): restructure pick() so the rr-queue/node-map
-                // invariant is carried by types instead of these expects.
-                // mitt-lint: allow(R001, "invariant: rr holds only pids present in nodes")
-                let node = tree.nodes.get_mut(&pid).expect("rr entry has node");
-                if node.queue.is_empty() {
+            while let Some(node) = tree.rr.front_mut() {
+                let Some((_, io)) = node.queue.pop_first() else {
+                    // Emptied by a cancel; retire the node.
                     tree.rr.pop_front();
-                    tree.nodes.remove(&pid);
                     continue;
-                }
-                // mitt-lint: allow(R001, "guarded by the is_empty check above")
-                let key = *node.queue.keys().next().expect("non-empty queue");
-                // mitt-lint: allow(R001, "key read from this queue on the line above")
-                let io = node.queue.remove(&key).expect("key just read");
+                };
                 node.credit -= 1;
-                if node.credit <= 0 {
+                let slice_done = node.credit <= 0;
+                let emptied = node.queue.is_empty();
+                if slice_done {
                     // Slice used up: refresh credit and rotate to the back.
                     node.credit = i64::from(quantum_base) * i64::from(8 - node.priority);
-                    tree.rr.pop_front();
-                    if node.queue.is_empty() {
-                        tree.nodes.remove(&pid);
-                    } else {
-                        tree.rr.push_back(pid);
+                    if let Some(node) = tree.rr.pop_front() {
+                        if !emptied {
+                            tree.rr.push_back(node);
+                        }
                     }
-                } else if node.queue.is_empty() {
+                } else if emptied {
                     tree.rr.pop_front();
-                    tree.nodes.remove(&pid);
                 }
                 return Some(io);
             }
@@ -144,6 +151,14 @@ impl Cfq {
             };
             self.index.remove(&io.id);
             out.dispatched.push(io.id);
+            self.trace.emit(
+                now,
+                Subsystem::Sched,
+                EventKind::SpanEnd {
+                    name: QUEUED_SPAN,
+                    id: io.id.0,
+                },
+            );
             match disk.submit(io, now) {
                 Ok(s) => {
                     self.in_device += 1;
@@ -159,8 +174,9 @@ impl Cfq {
     /// audits can inspect fairness.
     pub fn pending_of(&self, class: IoClass, pid: ProcessId) -> usize {
         self.trees[class_idx(class)]
-            .nodes
-            .get(&pid)
+            .rr
+            .iter()
+            .find(|n| n.pid == pid)
             .map_or(0, |n| n.queue.len())
     }
 
@@ -174,39 +190,55 @@ impl DiskScheduler for Cfq {
     fn enqueue(&mut self, io: BlockIo, disk: &mut Disk, now: SimTime) -> DispatchOut {
         let t = class_idx(io.class);
         self.index.insert(io.id, (t, io.owner, io.offset));
+        self.trace.emit(
+            now,
+            Subsystem::Sched,
+            EventKind::SpanBegin {
+                name: QUEUED_SPAN,
+                id: io.id.0,
+            },
+        );
         let quantum = self.quantum(io.priority);
         let tree = &mut self.trees[t];
-        let node = tree.nodes.entry(io.owner).or_insert_with(|| {
-            tree.rr.push_back(io.owner);
-            Node {
+        if tree.node_mut(io.owner).is_none() {
+            tree.rr.push_back(ProcNode {
+                pid: io.owner,
                 queue: BTreeMap::new(),
                 credit: quantum,
                 priority: io.priority,
-            }
-        });
-        // ionice changes apply to subsequent slices.
-        node.priority = io.priority;
-        node.queue.insert((io.offset, io.id), io);
-        self.dispatch(disk, now)
+            });
+        }
+        if let Some(node) = tree.node_mut(io.owner) {
+            // ionice changes apply to subsequent slices.
+            node.priority = io.priority;
+            node.queue.insert((io.offset, io.id), io);
+        }
+        let out = self.dispatch(disk, now);
+        self.trace.gauge("sched.queued", self.queued() as i64);
+        out
     }
 
-    fn on_complete(&mut self, disk: &mut Disk, now: SimTime) -> (FinishedIo, DispatchOut) {
-        let (finished, started) = disk.complete(now);
+    fn on_complete(
+        &mut self,
+        disk: &mut Disk,
+        now: SimTime,
+    ) -> Result<(FinishedIo, DispatchOut), NoInflight> {
+        let (finished, started) = disk.complete(now)?;
         debug_assert!(self.in_device > 0, "completion without dispatched IO");
         self.in_device = self.in_device.saturating_sub(1);
         let mut out = self.dispatch(disk, now);
         out.started = started.or(out.started);
-        (finished, out)
+        self.trace.gauge("sched.queued", self.queued() as i64);
+        Ok((finished, out))
     }
 
     fn cancel(&mut self, id: IoId) -> Option<BlockIo> {
         let (t, pid, offset) = self.index.remove(&id)?;
         let tree = &mut self.trees[t];
-        let node = tree.nodes.get_mut(&pid)?;
-        let io = node.queue.remove(&(offset, id));
-        if node.queue.is_empty() {
-            tree.nodes.remove(&pid);
-            tree.rr.retain(|&p| p != pid);
+        let pos = tree.rr.iter().position(|n| n.pid == pid)?;
+        let io = tree.rr[pos].queue.remove(&(offset, id));
+        if tree.rr[pos].queue.is_empty() {
+            tree.rr.remove(pos);
         }
         io
     }
@@ -217,6 +249,10 @@ impl DiskScheduler for Cfq {
 
     fn name(&self) -> &'static str {
         "cfq"
+    }
+
+    fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 
@@ -246,7 +282,7 @@ mod tests {
         let mut order = Vec::new();
         let mut tick = first;
         while let Some(s) = tick {
-            let (fin, next) = sched.on_complete(disk, s.done_at);
+            let (fin, next) = sched.on_complete(disk, s.done_at).unwrap();
             order.push(fin.io.id);
             tick = next.started;
         }

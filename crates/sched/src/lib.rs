@@ -29,12 +29,13 @@
 //! let io = BlockIo::read(ids.next_id(), 0, 4096, ProcessId(1), SimTime::ZERO);
 //! let out = sched.enqueue(io, &mut disk, SimTime::ZERO);
 //! let started = out.started.expect("idle disk starts immediately");
-//! let (finished, _) = sched.on_complete(&mut disk, started.done_at);
+//! let (finished, _) = sched.on_complete(&mut disk, started.done_at).unwrap();
 //! assert_eq!(finished.io.id, started.id);
 //! ```
 
-use mitt_device::{BlockIo, Disk, FinishedIo, IoId, Started};
+use mitt_device::{BlockIo, Disk, FinishedIo, IoId, NoInflight, Started};
 use mitt_sim::SimTime;
+use mitt_trace::TraceSink;
 
 pub mod cfq;
 pub mod noop;
@@ -65,7 +66,14 @@ pub trait DiskScheduler {
 
     /// Handles a device completion: retires the in-flight IO and dispatches
     /// more queued work.
-    fn on_complete(&mut self, disk: &mut Disk, now: SimTime) -> (FinishedIo, DispatchOut);
+    ///
+    /// Propagates [`NoInflight`] from the device when the completion tick
+    /// raced a cancellation (scheduler state is untouched in that case).
+    fn on_complete(
+        &mut self,
+        disk: &mut Disk,
+        now: SimTime,
+    ) -> Result<(FinishedIo, DispatchOut), NoInflight>;
 
     /// Removes an IO still waiting in scheduler queues.
     ///
@@ -79,4 +87,8 @@ pub trait DiskScheduler {
 
     /// The scheduler's name for reports.
     fn name(&self) -> &'static str;
+
+    /// Attaches a trace sink; schedulers emit queued-span and queue-depth
+    /// telemetry through it. The default implementation ignores it.
+    fn set_trace(&mut self, _sink: TraceSink) {}
 }

@@ -2,16 +2,21 @@
 
 use std::collections::VecDeque;
 
-use mitt_device::{BlockIo, Disk, FinishedIo, IoId};
+use mitt_device::{BlockIo, Disk, FinishedIo, IoId, NoInflight};
 use mitt_sim::SimTime;
+use mitt_trace::{EventKind, Subsystem, TraceSink};
 
 use crate::{DiskScheduler, DispatchOut};
+
+/// Span label for time an IO spends in scheduler queues.
+pub(crate) const QUEUED_SPAN: &str = "sched_q";
 
 /// FIFO dispatch queue. IOs flow to the device in arrival order as device
 /// queue slots free up; the device itself still reorders by SSTF.
 #[derive(Default)]
 pub struct Noop {
     fifo: VecDeque<BlockIo>,
+    trace: TraceSink,
 }
 
 impl Noop {
@@ -28,6 +33,14 @@ impl Noop {
                 break;
             };
             out.dispatched.push(io.id);
+            self.trace.emit(
+                now,
+                Subsystem::Sched,
+                EventKind::SpanEnd {
+                    name: QUEUED_SPAN,
+                    id: io.id.0,
+                },
+            );
             match disk.submit(io, now) {
                 Ok(s) => {
                     debug_assert!(
@@ -45,15 +58,30 @@ impl Noop {
 
 impl DiskScheduler for Noop {
     fn enqueue(&mut self, io: BlockIo, disk: &mut Disk, now: SimTime) -> DispatchOut {
+        self.trace.emit(
+            now,
+            Subsystem::Sched,
+            EventKind::SpanBegin {
+                name: QUEUED_SPAN,
+                id: io.id.0,
+            },
+        );
         self.fifo.push_back(io);
-        self.dispatch(disk, now)
+        let out = self.dispatch(disk, now);
+        self.trace.gauge("sched.queued", self.fifo.len() as i64);
+        out
     }
 
-    fn on_complete(&mut self, disk: &mut Disk, now: SimTime) -> (FinishedIo, DispatchOut) {
-        let (finished, started) = disk.complete(now);
+    fn on_complete(
+        &mut self,
+        disk: &mut Disk,
+        now: SimTime,
+    ) -> Result<(FinishedIo, DispatchOut), NoInflight> {
+        let (finished, started) = disk.complete(now)?;
         let mut out = self.dispatch(disk, now);
         out.started = started.or(out.started);
-        (finished, out)
+        self.trace.gauge("sched.queued", self.fifo.len() as i64);
+        Ok((finished, out))
     }
 
     fn cancel(&mut self, id: IoId) -> Option<BlockIo> {
@@ -67,6 +95,10 @@ impl DiskScheduler for Noop {
 
     fn name(&self) -> &'static str {
         "noop"
+    }
+
+    fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 
@@ -111,7 +143,7 @@ mod tests {
         assert_eq!(sched.queued(), 1);
         assert_eq!(disk.occupancy(), 2);
         // Completion backfills the freed slot from the FIFO.
-        let (fin, next) = sched.on_complete(&mut disk, s.done_at);
+        let (fin, next) = sched.on_complete(&mut disk, s.done_at).unwrap();
         assert_eq!(fin.io.id, IoId(0));
         assert!(next.started.is_some());
         assert_eq!(sched.queued(), 0);
@@ -146,7 +178,7 @@ mod tests {
         }
         let mut done = 0;
         while let Some(t) = next_tick {
-            let (fin, out) = sched.on_complete(&mut disk, t);
+            let (fin, out) = sched.on_complete(&mut disk, t).unwrap();
             pending.push(fin.io.id);
             done += 1;
             next_tick = out.started.map(|s| s.done_at);

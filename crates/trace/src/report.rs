@@ -1,0 +1,152 @@
+//! Plain-text per-run report.
+//!
+//! Summarises a traced run the way the paper's debugging sections talk
+//! about it: who rejected how much, which replicas returned EBUSY at what
+//! rate, and how far predictions were off. Everything is derived from the
+//! metrics registry (not the event ring), so the numbers stay exact even
+//! when the bounded ring dropped events.
+
+use core::fmt::Write as _;
+
+use mitt_sim::Duration;
+
+use crate::event::{Subsystem, CLUSTER_NODE};
+use crate::metrics::{bound_label, MetricsRegistry};
+
+/// Histogram name the node layer records prediction error into.
+pub const PREDICT_ERROR_HIST: &str = "predict.error_ns";
+
+/// Counter name for per-node submitted IOs.
+pub const SUBMIT_COUNTER: &str = "node.submit";
+
+/// Counter name for per-node EBUSY rejections (including bump-cancels).
+pub const EBUSY_COUNTER: &str = "node.ebusy";
+
+/// Counter name for per-node cache hits.
+pub const CACHE_HIT_COUNTER: &str = "node.cache_hit";
+
+fn node_label(key: u32) -> String {
+    if key == CLUSTER_NODE {
+        "cluster".to_string()
+    } else {
+        format!("node {key}")
+    }
+}
+
+/// Renders the report for a run.
+///
+/// `recorded` / `dropped` are the ring-buffer totals; `metrics` is the
+/// run's registry.
+pub fn render(recorded: u64, dropped: u64, metrics: &MetricsRegistry) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(
+        out,
+        "trace report: {recorded} events recorded ({dropped} dropped), {} metric series",
+        metrics.len()
+    );
+
+    let mut rejections: Vec<(&'static str, u64, u64)> = Vec::new();
+    for sub in Subsystem::ALL {
+        let rejected = metrics.counter_total(sub.reject_counter());
+        let admitted = metrics.counter_total(sub.admit_counter());
+        if rejected > 0 || admitted > 0 {
+            rejections.push((sub.name(), rejected, admitted));
+        }
+    }
+    if !rejections.is_empty() {
+        let _ = writeln!(out, "rejections by subsystem:");
+        rejections.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, rejected, admitted) in rejections {
+            let total = rejected + admitted;
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * rejected as f64 / total as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<10} {rejected:>8} rejected / {total:>8} decisions ({pct:>6.2}%)"
+            );
+        }
+    }
+
+    let ebusy: Vec<(u32, u64)> = metrics.counter_by_key(EBUSY_COUNTER).collect();
+    if !ebusy.is_empty() {
+        let _ = writeln!(out, "per-node EBUSY:");
+        for (key, count) in ebusy {
+            let submits = metrics
+                .counter_by_key(SUBMIT_COUNTER)
+                .find(|&(k, _)| k == key)
+                .map_or(0, |(_, v)| v);
+            let pct = if submits == 0 {
+                0.0
+            } else {
+                100.0 * count as f64 / submits as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {count:>8} EBUSY / {submits:>8} submits ({pct:>6.2}%)",
+                node_label(key)
+            );
+        }
+    }
+
+    if let Some(hist) = metrics.histogram(PREDICT_ERROR_HIST) {
+        let _ = writeln!(
+            out,
+            "prediction error |predicted - actual wait| ({} samples, mean {}):",
+            hist.total(),
+            Duration::from_nanos(hist.mean() as u64)
+        );
+        for (bound, count) in hist.buckets() {
+            if count > 0 {
+                let _ = writeln!(out, "  {:<12} {count:>8}", bound_label(bound));
+            }
+        }
+    }
+
+    let failovers = metrics.counter_total("cluster.failover");
+    let hedges = metrics.counter_total("cluster.hedge");
+    let cache_hits = metrics.counter_total(CACHE_HIT_COUNTER);
+    if failovers > 0 || hedges > 0 || cache_hits > 0 {
+        let _ = writeln!(
+            out,
+            "cluster: {failovers} failovers, {hedges} hedges, {cache_hits} cache hits"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_rejections_ebusy_and_histogram() {
+        let mut m = MetricsRegistry::new();
+        m.add(Subsystem::MittCfq.reject_counter(), 0, 4);
+        m.add(Subsystem::MittCfq.admit_counter(), 0, 12);
+        m.add(EBUSY_COUNTER, 0, 4);
+        m.add(SUBMIT_COUNTER, 0, 16);
+        m.add("cluster.failover", CLUSTER_NODE, 4);
+        m.observe(PREDICT_ERROR_HIST, 600_000);
+        m.observe(PREDICT_ERROR_HIST, 3_000_000);
+        let text = render(40, 0, &m);
+        assert!(text.contains("rejections by subsystem"));
+        assert!(text.contains("mittcfq"));
+        assert!(text.contains("4 rejected"));
+        assert!(text.contains("per-node EBUSY"));
+        assert!(text.contains("node 0"));
+        assert!(text.contains("( 25.00%)"));
+        assert!(text.contains("prediction error"));
+        assert!(text.contains("2 samples"));
+        assert!(text.contains("4 failovers"));
+    }
+
+    #[test]
+    fn empty_registry_renders_header_only() {
+        let text = render(0, 0, &MetricsRegistry::new());
+        assert!(text.starts_with("trace report: 0 events"));
+        assert!(!text.contains("rejections"));
+    }
+}

@@ -2,9 +2,10 @@
 # Canonical local gate for this repo (recorded in ROADMAP.md). Runs the
 # same checks CI would: formatting, a release build (the workspace lints
 # are deny-level, so this doubles as the warning gate), the mitt-lint
-# determinism/invariant scan, and the test suite (which itself re-runs
-# the lint via tests/lint.rs and the double-run digest check via
-# tests/determinism.rs).
+# determinism/invariant scan, the test suite (which itself re-runs the
+# lint via tests/lint.rs and the double-run digest check via
+# tests/determinism.rs), the mitt-trace unit tests, and a traced-run
+# smoke test that exports a Chrome trace and validates it as JSON.
 #
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -eu
@@ -27,5 +28,20 @@ cargo run --quiet -p mitt-lint -- --json
 
 echo "== cargo test -q"
 cargo test -q
+
+echo "== cargo test -q -p mitt-trace"
+cargo test -q -p mitt-trace
+
+echo "== trace_run smoke (Chrome trace export)"
+trace_out="$(mktemp /tmp/trace_run.XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+cargo run --quiet --release --example trace_run -- "$trace_out" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.traceEvents | length > 0' "$trace_out" >/dev/null
+else
+    # No jq (e.g. minimal containers): settle for python's JSON parser.
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents']" "$trace_out"
+fi
+echo "   exported trace is well-formed JSON with events"
 
 echo "ok: all checks passed"

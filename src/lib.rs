@@ -11,5 +11,6 @@ pub use mitt_lsm as lsm;
 pub use mitt_oscache as oscache;
 pub use mitt_sched as sched;
 pub use mitt_sim as sim;
+pub use mitt_trace as trace;
 pub use mitt_workload as workload;
 pub use mittos as os;

@@ -87,7 +87,7 @@ fn profiled_model_tracks_device_through_calibration() {
     let spec = DiskSpec::default();
     let mut scratch = Disk::new(spec.clone(), SimRng::new(47));
     let mut prof_rng = SimRng::new(48);
-    let profile = profile_disk(&mut scratch, 500, &mut prof_rng);
+    let profile = profile_disk(&mut scratch, 500, &mut prof_rng).expect("idle scratch disk");
     let mut disk = Disk::new(spec, SimRng::new(49));
     let mut mitt = MittNoop::new(profile, DEFAULT_HOP);
     let mut ids = IoIdGen::new();
@@ -102,7 +102,7 @@ fn profiled_model_tracks_device_through_calibration() {
         mitt.account(&io, now);
         let started = disk.submit(io, now).unwrap().unwrap();
         now = started.done_at;
-        let (fin, _) = disk.complete(now);
+        let (fin, _) = disk.complete(now).expect("in-flight IO");
         mitt.on_complete(fin.io.id, fin.service);
         total_err_ms += (fin.service.as_millis_f64() - predicted.as_millis_f64()).abs();
     }

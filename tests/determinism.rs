@@ -5,19 +5,24 @@
 //! representative cluster simulation — replicated nodes, CFQ disks, noisy
 //! neighbors, the MittOS failover strategy — runs twice from the same seed,
 //! and every observable output (latency sample streams, counters, the final
-//! virtual clock) is folded into an FNV-1a digest. One reordered event
-//! anywhere in the run cascades into a digest mismatch.
+//! virtual clock, and with tracing enabled the full event ring + metrics
+//! registry) is folded into an FNV-1a digest. One reordered event anywhere
+//! in the run cascades into a digest mismatch. All three media paths are
+//! covered: the CFQ disk, the OpenChannel SSD, and the LSM engine over the
+//! disk.
 
 use mittos_repro::cluster::{
-    run_experiment, ExperimentConfig, ExperimentResult, InitialReplica, NodeConfig, NoiseKind,
-    NoiseStream, Strategy,
+    run_experiment, ExperimentConfig, ExperimentResult, InitialReplica, Medium, NodeConfig,
+    NoiseKind, NoiseStream, Strategy,
 };
 use mittos_repro::device::IoClass;
+use mittos_repro::lsm::LsmConfig;
 use mittos_repro::sim::digest::{double_run, Fnv1a};
 use mittos_repro::sim::Duration;
 use mittos_repro::workload::rotating_schedule;
 
 /// A contended three-replica cluster, small enough for a debug-build test.
+/// Tracing is on so the digest also covers the event ring and metrics.
 fn config(seed: u64, strategy: Strategy) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
     cfg.seed = seed;
@@ -26,6 +31,7 @@ fn config(seed: u64, strategy: Strategy) -> ExperimentConfig {
     cfg.initial_replica = InitialReplica::Random;
     cfg.think_time = Duration::from_millis(5);
     cfg.write_fraction = 0.1;
+    cfg.trace = true;
     cfg.noise = vec![NoiseStream {
         kind: NoiseKind::DiskReads {
             len: 1 << 20,
@@ -37,7 +43,49 @@ fn config(seed: u64, strategy: Strategy) -> ExperimentConfig {
     cfg
 }
 
-/// Folds every observable output of a run into the digest, in a fixed order.
+/// The SSD medium under write noise (MittSSD path).
+fn ssd_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(
+        NodeConfig::ssd(),
+        Strategy::MittOs {
+            deadline: Duration::from_millis(2),
+        },
+    );
+    cfg.seed = seed;
+    cfg.medium = Medium::Ssd;
+    cfg.ops_per_client = 60;
+    cfg.trace = true;
+    cfg.noise = vec![NoiseStream {
+        kind: NoiseKind::SsdWrites { len: 64 << 10 },
+        schedules: rotating_schedule(3, Duration::from_secs(1), Duration::from_secs(600), 4),
+    }];
+    cfg
+}
+
+/// An LSM-engine cluster (LevelDB-style lookup plans over the disk).
+fn lsm_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = config(
+        seed,
+        Strategy::MittOs {
+            deadline: Duration::from_millis(25),
+        },
+    );
+    cfg.engine = Some(LsmConfig {
+        levels: 2,
+        level_ratio: 6,
+        table_cache_capacity: 16,
+        ..LsmConfig::default()
+    });
+    cfg.record_count = 100_000;
+    cfg.ops_per_client = 60;
+    cfg
+}
+
+/// Folds every observable output of a run into the digest, in a fixed
+/// order: counters, the virtual clock, the latency sample streams, the
+/// trace ring + metrics registry, and the exported Chrome JSON bytes (so
+/// byte-identity of the export is part of the contract, not just the
+/// in-memory event list).
 fn fold_result(h: &mut Fnv1a, res: &ExperimentResult) {
     h.write_u64(res.ops);
     h.write_u64(res.ebusy);
@@ -47,6 +95,8 @@ fn fold_result(h: &mut Fnv1a, res: &ExperimentResult) {
     h.write_u64(res.finished_at.as_nanos());
     h.write_u64_slice(res.user_latencies.samples());
     h.write_u64_slice(res.get_latencies.samples());
+    res.trace.fold_digest(h);
+    h.write_str(&res.trace.export_chrome_json());
 }
 
 #[test]
@@ -68,6 +118,51 @@ fn same_seed_same_digest() {
             strategy.name()
         );
     }
+}
+
+#[test]
+fn ssd_experiment_same_seed_same_digest() {
+    let (first, second) = double_run(|h| {
+        let res = run_experiment(ssd_config(23));
+        fold_result(h, &res);
+    });
+    assert_eq!(
+        first, second,
+        "SSD runs from seed 23 diverged: {first:#018x} vs {second:#018x}"
+    );
+}
+
+#[test]
+fn lsm_cluster_same_seed_same_digest() {
+    let (first, second) = double_run(|h| {
+        let res = run_experiment(lsm_config(24));
+        fold_result(h, &res);
+    });
+    assert_eq!(
+        first, second,
+        "LSM runs from seed 24 diverged: {first:#018x} vs {second:#018x}"
+    );
+}
+
+#[test]
+fn exported_trace_is_byte_identical_across_runs() {
+    let run = || {
+        let res = run_experiment(config(
+            25,
+            Strategy::MittOs {
+                deadline: Duration::from_millis(15),
+            },
+        ));
+        (res.trace.export_chrome_json(), res.trace.report_text())
+    };
+    let (json_a, report_a) = run();
+    let (json_b, report_b) = run();
+    assert!(
+        json_a.len() > 1024 && json_a.contains("\"traceEvents\""),
+        "traced run must export a non-trivial Chrome trace"
+    );
+    assert_eq!(json_a, json_b, "exported Chrome traces differ between runs");
+    assert_eq!(report_a, report_b, "run reports differ between runs");
 }
 
 #[test]
