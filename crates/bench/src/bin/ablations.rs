@@ -11,8 +11,8 @@
 //!    cheap relative to the deadline (§3.3 cites 0.3 ms on Ethernet, 10 µs
 //!    on Infiniband); sweeping the hop shows where rejection stops paying.
 
-use mitt_bench::{ec2_disk_noise, ops_from_env, print_percentiles, steady_noise_on};
-use mitt_cluster::{run_experiment, ExperimentConfig, Medium, NodeConfig, NoiseKind, Strategy};
+use mitt_bench::{ec2_disk_noise, ops_from_env, print_percentiles, steady_noise_on, trace_flag};
+use mitt_cluster::{ExperimentConfig, Medium, NodeConfig, NoiseKind, Strategy};
 use mitt_device::IoClass;
 use mitt_sim::{Duration, LatencyRecorder};
 
@@ -22,7 +22,7 @@ fn fig5_like(node_cfg: NodeConfig, strategy: Strategy, ops: usize, seed: u64) ->
     cfg.ops_per_client = ops;
     cfg.think_time = Duration::from_millis(10);
     cfg.noise = vec![ec2_disk_noise(20, Duration::from_secs(3600), seed)];
-    run_experiment(cfg).get_latencies
+    trace_flag().run(cfg).get_latencies
 }
 
 fn main() {
@@ -101,7 +101,7 @@ fn main() {
             })
             .collect();
         cfg.noise = vec![noise];
-        run_experiment(cfg).get_latencies
+        trace_flag().run(cfg).get_latencies
     };
     let mut bump = vec![
         ("with-table", bump_run(false, 62)),
@@ -128,7 +128,7 @@ fn main() {
         cfg.medium = Medium::Disk;
         cfg.think_time = Duration::from_millis(10);
         cfg.noise = vec![ec2_disk_noise(20, Duration::from_secs(3600), 63)];
-        let mut rec = run_experiment(cfg).get_latencies;
+        let mut rec = trace_flag().run(cfg).get_latencies;
         println!(
             "{:>8}us {:>10.2} {:>10.2} {:>10.2}",
             hop_us,

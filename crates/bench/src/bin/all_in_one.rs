@@ -6,10 +6,8 @@
 //! user class routes to its medium while all three noise streams run, so
 //! the three predictors co-exist on the same nodes.
 
-use mitt_bench::{ops_from_env, print_percentiles, steady_noise_on};
-use mitt_cluster::{
-    run_experiment, ExperimentConfig, Medium, NodeConfig, NoiseKind, NoiseStream, Strategy,
-};
+use mitt_bench::{ops_from_env, print_percentiles, steady_noise_on, trace_flag};
+use mitt_cluster::{ExperimentConfig, Medium, NodeConfig, NoiseKind, NoiseStream, Strategy};
 use mitt_device::IoClass;
 use mitt_sim::{Duration, LatencyRecorder, SimTime};
 
@@ -70,7 +68,7 @@ fn run(
     if with_noise {
         cfg.noise = noises(Duration::from_secs(3600));
     }
-    run_experiment(cfg).get_latencies
+    trace_flag().run(cfg).get_latencies
 }
 
 fn main() {

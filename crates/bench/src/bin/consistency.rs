@@ -12,9 +12,9 @@
 //! already-fresh replicas first during failover, trading a little tail
 //! latency for session consistency.
 
-use mitt_bench::{ops_from_env, print_percentiles};
+use mitt_bench::{ops_from_env, print_percentiles, trace_flag};
 use mitt_cluster::{
-    run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
+    ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
 };
 use mitt_device::IoClass;
 use mitt_sim::Duration;
@@ -40,7 +40,7 @@ fn run(strategy: Strategy, guard: bool, ops: usize, seed: u64) -> mitt_cluster::
         },
         schedules: rotating_schedule(3, Duration::from_secs(1), Duration::from_secs(3600), 4),
     }];
-    run_experiment(cfg)
+    trace_flag().run(cfg)
 }
 
 fn main() {

@@ -9,8 +9,8 @@
 //! each point, then lets the [`DeadlineTuner`]-driven `MittOsAuto` strategy
 //! find its own operating point for comparison.
 
-use mitt_bench::{fig5_config, ops_from_env};
-use mitt_cluster::{run_experiment, Strategy};
+use mitt_bench::{fig5_config, ops_from_env, trace_flag};
+use mitt_cluster::Strategy;
 use mitt_sim::Duration;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     );
     for deadline_ms in [2u64, 5, 8, 12, 16, 24, 40, 80] {
         let deadline = Duration::from_millis(deadline_ms);
-        let mut res = run_experiment(fig5_config(Strategy::MittOs { deadline }, ops, seed));
+        let mut res = trace_flag().run(fig5_config(Strategy::MittOs { deadline }, ops, seed));
         let r = &mut res.user_latencies;
         println!(
             "{:>10}ms | {:>9.3} {:>9} | {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
@@ -46,7 +46,7 @@ fn main() {
     );
     for initial_ms in [2u64, 80] {
         let initial = Duration::from_millis(initial_ms);
-        let mut res = run_experiment(fig5_config(Strategy::MittOsAuto { initial }, ops, seed));
+        let mut res = trace_flag().run(fig5_config(Strategy::MittOsAuto { initial }, ops, seed));
         let r = &mut res.user_latencies;
         println!(
             "{:>10}ms | {:>9.3} {:>9} | {:>9.2} {:>9.2} {:>9.2} {:>9.2}",

@@ -1,8 +1,8 @@
 //! Figure 10: tail sensitivity to prediction error — false-negative and
 //! false-positive injection at 20/60/100% on the Figure 5 setup.
 
-use mitt_bench::{fig5_config, measure_p95, ops_from_env, print_cdf};
-use mitt_cluster::{run_experiment, Strategy};
+use mitt_bench::{fig5_config, measure_p95, ops_from_env, print_cdf, trace_flag};
+use mitt_cluster::Strategy;
 use mitt_sim::LatencyRecorder;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let run_with = |inject: Option<(f64, f64)>, strategy: Strategy| -> LatencyRecorder {
         let mut cfg = fig5_config(strategy, ops, seed);
         cfg.node_cfg.inject = inject;
-        run_experiment(cfg).get_latencies
+        trace_flag().run(cfg).get_latencies
     };
 
     let base = run_with(None, Strategy::Base);

@@ -1,8 +1,8 @@
 //! Figure 11: workload mix — MittOS+KV colocated with filebench-like
 //! personalities and a Hadoop-like job stream (§7.8.1).
 
-use mitt_bench::{ops_from_env, print_cdf, reduction_at};
-use mitt_cluster::{run_experiment, ExperimentConfig, NodeConfig, Strategy};
+use mitt_bench::{ops_from_env, print_cdf, reduction_at, trace_flag};
+use mitt_cluster::{ExperimentConfig, NodeConfig, Strategy};
 use mitt_sim::{Duration, SimRng};
 use mitt_workload::macrobench::{fileserver, hadoop_jobs, varmail, webserver, HadoopConfig};
 use mitt_workload::TraceIo;
@@ -42,21 +42,23 @@ fn main() {
     let p95 = {
         let mut quiet_cfg = cfg_for(Strategy::Base, ops, seed);
         quiet_cfg.background.clear();
-        let mut quiet = run_experiment(quiet_cfg).get_latencies;
+        let mut quiet = trace_flag().run(quiet_cfg).get_latencies;
         quiet.percentile(95.0)
     };
-    let base = run_experiment(cfg_for(Strategy::Base, ops, seed)).get_latencies;
+    let base = trace_flag()
+        .run(cfg_for(Strategy::Base, ops, seed))
+        .get_latencies;
     println!("# Fig 11 setup: filebench fileserver/varmail/webserver + Hadoop jobs colocated;");
     println!(
         "# expected-workload p95 = {:.2}ms (deadline & hedge threshold)",
         p95.as_millis_f64()
     );
 
-    let mitt = run_experiment(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
-    let hedged = run_experiment(cfg_for(Strategy::Hedged { after: p95 }, ops, seed));
+    let mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
+    let hedged = trace_flag().run(cfg_for(Strategy::Hedged { after: p95 }, ops, seed));
     // The §7.8.1 fix: return the predicted wait with EBUSY so the final
     // retry goes to the least-busy replica.
-    let mitt_wait = run_experiment(cfg_for(Strategy::MittOsWait { deadline: p95 }, ops, seed));
+    let mitt_wait = trace_flag().run(cfg_for(Strategy::MittOsWait { deadline: p95 }, ops, seed));
     eprintln!(
         "MittCFQ: ebusy={} retries={} errors={}",
         mitt.ebusy, mitt.retries, mitt.errors

@@ -5,9 +5,9 @@
 //! rotating every 1 s, and rotating every 5 s. Adaptive selection only
 //! copes when busyness is stable (5 s); MittOS handles all of them.
 
-use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf};
+use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf, trace_flag};
 use mitt_cluster::{
-    run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
+    ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
 };
 use mitt_device::IoClass;
 use mitt_sim::{Duration, LatencyRecorder};
@@ -23,7 +23,7 @@ fn run(strategy: Strategy, noise: Vec<NoiseStream>, ops: usize, seed: u64) -> La
     // feedback staleness is what gets measured.
     cfg.think_time = Duration::from_millis(5);
     cfg.noise = noise;
-    run_experiment(cfg).get_latencies
+    trace_flag().run(cfg).get_latencies
 }
 
 fn rotating(period: Duration) -> Vec<NoiseStream> {

@@ -7,8 +7,8 @@
 //! which fails the whole get over to another replica. Panel (b) shows one
 //! node's outstanding-IO timeline with the instants it returned EBUSY.
 
-use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf};
-use mitt_cluster::{run_experiment, ExperimentConfig, NodeConfig, Strategy};
+use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf, trace_flag};
+use mitt_cluster::{ExperimentConfig, NodeConfig, Strategy};
 use mitt_sim::{Duration, SimTime};
 
 fn cfg_for(strategy: Strategy, ops: usize, seed: u64) -> ExperimentConfig {
@@ -39,12 +39,12 @@ fn cfg_for(strategy: Strategy, ops: usize, seed: u64) -> ExperimentConfig {
 fn main() {
     let ops = ops_from_env(800);
     let seed = 13;
-    let mut base = run_experiment(cfg_for(Strategy::Base, ops, seed));
+    let mut base = trace_flag().run(cfg_for(Strategy::Base, ops, seed));
     let p95 = base.get_latencies.percentile(95.0);
     println!("# Fig 13 setup: Riak-like coordinator over LevelDB-like engines (20 nodes);");
     println!("# measured Base p95 = {:.2}ms", p95.as_millis_f64());
 
-    let mitt = run_experiment(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
+    let mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
     let watch = mitt.watch.as_ref().expect("watch node configured");
     eprintln!(
         "MittCFQ: ebusy={} retries={} node0_ebusy={}",

@@ -4,10 +4,10 @@
 //! EC2-style noise model; (d-f) noise inter-arrival CDFs; (g) probability
 //! that N of the 20 nodes are busy simultaneously.
 
-use mitt_bench::{ec2_cache_noise, ec2_disk_noise, ec2_ssd_noise, ops_from_env, print_cdf};
-use mitt_cluster::{
-    run_experiment, ExperimentConfig, InitialReplica, Medium, NodeConfig, NoiseStream, Strategy,
+use mitt_bench::{
+    ec2_cache_noise, ec2_disk_noise, ec2_ssd_noise, ops_from_env, print_cdf, trace_flag,
 };
+use mitt_cluster::{ExperimentConfig, InitialReplica, Medium, NodeConfig, NoiseStream, Strategy};
 use mitt_sim::{Duration, LatencyRecorder};
 use mitt_workload::occupancy_histogram;
 
@@ -42,7 +42,7 @@ fn probe_nodes(
                 kind: noise.kind.clone(),
                 schedules: vec![noise.schedules[node].clone()],
             }];
-            run_experiment(cfg).get_latencies
+            trace_flag().run(cfg).get_latencies
         })
         .collect()
 }

@@ -5,10 +5,8 @@
 //! three lines per panel: NoNoise, Base (vanilla + noise), Mitt (MittOS +
 //! noise).
 
-use mitt_bench::{ops_from_env, print_cdf, print_percentiles, steady_noise_on};
-use mitt_cluster::{
-    run_experiment, ExperimentConfig, Medium, NodeConfig, NoiseKind, NoiseStream, Strategy,
-};
+use mitt_bench::{ops_from_env, print_cdf, print_percentiles, steady_noise_on, trace_flag};
+use mitt_cluster::{ExperimentConfig, Medium, NodeConfig, NoiseKind, NoiseStream, Strategy};
 use mitt_device::IoClass;
 use mitt_sim::{Duration, LatencyRecorder};
 
@@ -37,7 +35,7 @@ fn run(
     // from the injected noise, not self-congestion.
     cfg.think_time = Duration::from_millis(40);
     cfg.noise = noise;
-    run_experiment(cfg).get_latencies
+    trace_flag().run(cfg).get_latencies
 }
 
 #[allow(clippy::too_many_arguments)]

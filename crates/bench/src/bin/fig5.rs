@@ -6,8 +6,9 @@
 
 use mitt_bench::{
     fig5_config, measure_p95, ops_from_env, print_cdf, print_percentiles, print_reductions,
+    trace_flag,
 };
-use mitt_cluster::{run_experiment, Strategy};
+use mitt_cluster::Strategy;
 
 fn main() {
     let ops = ops_from_env(800);
@@ -31,7 +32,7 @@ fn main() {
     let mut series = Vec::new();
     for s in strategies {
         let name = s.name();
-        let res = run_experiment(fig5_config(s, ops, seed));
+        let res = trace_flag().run(fig5_config(s, ops, seed));
         eprintln!(
             "ran {name}: ops={} ebusy={} retries={} errors={}",
             res.ops, res.ebusy, res.retries, res.errors

@@ -1,8 +1,8 @@
 //! Figure 6: tail amplified by scale — user requests of SF parallel gets
 //! (SF = 1, 2, 5, 10), MittCFQ vs Hedged.
 
-use mitt_bench::{fig5_config, measure_p95, ops_from_env, print_cdf, reduction_at};
-use mitt_cluster::{run_experiment, Strategy};
+use mitt_bench::{fig5_config, measure_p95, ops_from_env, print_cdf, reduction_at, trace_flag};
+use mitt_cluster::Strategy;
 use mitt_sim::LatencyRecorder;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
             // Hold per-node load roughly constant across scale factors
             // (the paper's cluster absorbs SF=10 without saturating).
             cfg.think_time = mitt_sim::Duration::from_millis(25) * sf as u64;
-            run_experiment(cfg).user_latencies
+            trace_flag().run(cfg).user_latencies
         };
         let mitt = mk(Strategy::MittOs { deadline: p95 });
         let hedged = mk(Strategy::Hedged { after: p95 });

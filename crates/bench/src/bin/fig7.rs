@@ -1,10 +1,8 @@
 //! Figure 7: MittCache vs Hedged on a 20-node cluster whose working set
 //! lives in the OS cache, with swap-out (ballooning) noise.
 
-use mitt_bench::{ops_from_env, print_cdf, reduction_at};
-use mitt_cluster::{
-    run_experiment, ExperimentConfig, NodeConfig, NoiseKind, NoiseStream, Strategy,
-};
+use mitt_bench::{ops_from_env, print_cdf, reduction_at, trace_flag};
+use mitt_cluster::{ExperimentConfig, NodeConfig, NoiseKind, NoiseStream, Strategy};
 use mitt_sim::{Duration, LatencyRecorder, SimRng};
 use mitt_workload::NoiseGen;
 
@@ -50,7 +48,9 @@ fn main() {
     let seed = 7;
 
     // Hedge threshold: measured p95 of Base (sub-ms; everything cached).
-    let mut base_probe = run_experiment(cfg_for(Strategy::Base, ops, seed)).get_latencies;
+    let mut base_probe = trace_flag()
+        .run(cfg_for(Strategy::Base, ops, seed))
+        .get_latencies;
     let p95 = base_probe.percentile(95.0);
     println!(
         "# Fig 7 setup: cached working set, swap-out noise; Base p95 = {:.3}ms",
@@ -63,7 +63,7 @@ fn main() {
         let mk = |strategy: Strategy| {
             let mut cfg = cfg_for(strategy, ops, seed);
             cfg.scale_factor = sf;
-            run_experiment(cfg).user_latencies
+            trace_flag().run(cfg).user_latencies
         };
         let mitt = mk(Strategy::MittOs { deadline });
         let hedged = mk(Strategy::Hedged { after: p95 });

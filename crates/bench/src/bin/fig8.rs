@@ -6,8 +6,8 @@
 //! 12 handler threads contend. We model each of the six partitions as a
 //! node with a single-core handler budget (6 partitions / 8 cores).
 
-use mitt_bench::{ec2_ssd_noise, ops_from_env, print_cdf, reduction_at};
-use mitt_cluster::{run_experiment, CpuConfig, ExperimentConfig, Medium, NodeConfig, Strategy};
+use mitt_bench::{ec2_ssd_noise, ops_from_env, print_cdf, reduction_at, trace_flag};
+use mitt_cluster::{CpuConfig, ExperimentConfig, Medium, NodeConfig, Strategy};
 use mitt_sim::{Duration, LatencyRecorder};
 
 fn cfg_for(strategy: Strategy, ops: usize, seed: u64) -> ExperimentConfig {
@@ -35,7 +35,9 @@ fn cfg_for(strategy: Strategy, ops: usize, seed: u64) -> ExperimentConfig {
 fn main() {
     let ops = ops_from_env(1200);
     let seed = 8;
-    let mut base_probe = run_experiment(cfg_for(Strategy::Base, ops, seed)).get_latencies;
+    let mut base_probe = trace_flag()
+        .run(cfg_for(Strategy::Base, ops, seed))
+        .get_latencies;
     let p95 = base_probe.percentile(95.0);
     println!("# Fig 8 setup: 6 SSD partitions, 6 clients, core-constrained handlers;");
     println!(
@@ -48,7 +50,7 @@ fn main() {
         let mk = |strategy: Strategy| {
             let mut cfg = cfg_for(strategy, ops, seed);
             cfg.scale_factor = sf;
-            run_experiment(cfg).user_latencies
+            trace_flag().run(cfg).user_latencies
         };
         let mitt = mk(Strategy::MittOs { deadline: p95 });
         let hedged = mk(Strategy::Hedged { after: p95 });

@@ -8,6 +8,9 @@ use mitt_sim::{Duration, SimRng};
 use mitt_workload::TraceSpec;
 
 fn main() {
+    if mitt_bench::trace_flag().is_on() {
+        eprintln!("note: this binary runs no cluster experiment; --trace is ignored");
+    }
     let horizon = Duration::from_secs(
         std::env::var("MITT_OPS")
             .ok()

@@ -5,6 +5,9 @@
 use mitt_cluster::nosql::run_survey;
 
 fn main() {
+    if mitt_bench::trace_flag().is_on() {
+        eprintln!("note: this binary runs no cluster experiment; --trace is ignored");
+    }
     println!("# Table 1: Tail tolerance in NoSQL (measured reproduction)");
     println!(
         "# Setup: 3 replicas + 1 client, severe 1s contention rotating across replicas (see §2)."

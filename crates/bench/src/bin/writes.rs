@@ -4,8 +4,8 @@
 //! is insulated from drive contention: Base-with-noise and NoNoise lines
 //! should be nearly identical.
 
-use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf, print_percentiles};
-use mitt_cluster::{run_experiment, ExperimentConfig, NodeConfig, Strategy};
+use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf, print_percentiles, trace_flag};
+use mitt_cluster::{ExperimentConfig, NodeConfig, Strategy};
 use mitt_sim::Duration;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         if with_noise {
             cfg.noise = vec![ec2_disk_noise(20, Duration::from_secs(3600), seed)];
         }
-        run_experiment(cfg).get_latencies
+        trace_flag().run(cfg).get_latencies
     };
     let mut series = vec![("NoNoise", mk(false)), ("Base", mk(true))];
     print_percentiles("Writes (§7.8.6): write-only YCSB", &mut series);

@@ -1,0 +1,132 @@
+//! Shared command-line flag parsing for the figure binaries.
+//!
+//! Every bench binary accepts `--trace <out.json>`: when present, the
+//! first experiment the binary runs records a structured trace and exports
+//! it as Chrome `chrome://tracing` / Perfetto JSON to the given path.
+//! Parsing lives here so the eighteen binaries share one implementation
+//! (and one help message) instead of eighteen ad-hoc ones.
+//!
+//! Binaries route their cluster runs through [`trace_flag`]`().run(cfg)`;
+//! without the flag that is exactly `run_experiment(cfg)`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use mitt_cluster::{run_experiment, ExperimentConfig, ExperimentResult};
+
+/// The `--trace <out.json>` flag.
+#[derive(Debug, Default)]
+pub struct TraceFlag {
+    path: Option<PathBuf>,
+    saved: AtomicBool,
+}
+
+/// The process-wide flag, parsed from `std::env::args` on first use.
+pub fn trace_flag() -> &'static TraceFlag {
+    static FLAG: OnceLock<TraceFlag> = OnceLock::new();
+    FLAG.get_or_init(TraceFlag::from_args)
+}
+
+impl TraceFlag {
+    /// Parses the flag from `std::env::args`. Accepts `--trace out.json`
+    /// and `--trace=out.json`; a bare `--trace` aborts with usage help.
+    fn from_args() -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--trace" {
+                match args.next() {
+                    Some(p) => path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("usage: --trace <out.json>");
+                        std::process::exit(2);
+                    }
+                }
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                path = Some(PathBuf::from(p));
+            }
+        }
+        TraceFlag {
+            path,
+            saved: AtomicBool::new(false),
+        }
+    }
+
+    /// A flag that exports to `path` (for composing in code, e.g. tests).
+    pub fn to_path(path: PathBuf) -> Self {
+        TraceFlag {
+            path: Some(path),
+            saved: AtomicBool::new(false),
+        }
+    }
+
+    /// True when the user asked for a trace export.
+    pub fn is_on(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Runs `cfg`. When the flag is on, the first run through this flag
+    /// records a trace and writes the Chrome JSON to the requested path;
+    /// later runs (and all runs without the flag) are untouched.
+    pub fn run(&self, mut cfg: ExperimentConfig) -> ExperimentResult {
+        let export = self.is_on() && !self.saved.swap(true, Ordering::Relaxed);
+        if export {
+            cfg.trace = true;
+        }
+        let res = run_experiment(cfg);
+        if export {
+            self.save(&res);
+        }
+        res
+    }
+
+    /// Writes a run's Chrome trace to the requested path (no-op without
+    /// the flag).
+    pub fn save(&self, res: &ExperimentResult) {
+        let Some(path) = &self.path else { return };
+        let json = res.trace.export_chrome_json();
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote Chrome trace to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitt_cluster::{NodeConfig, Strategy};
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), Strategy::Base);
+        cfg.ops_per_client = 2;
+        cfg
+    }
+
+    #[test]
+    fn absent_flag_is_plain_run_experiment() {
+        let flag = TraceFlag::default();
+        assert!(!flag.is_on());
+        let res = flag.run(tiny());
+        assert_eq!(res.ops, 2);
+        assert!(!res.trace.is_enabled());
+    }
+
+    #[test]
+    fn first_run_records_and_exports_later_runs_do_not() {
+        let out = std::env::temp_dir().join("mitt-bench-flags-test.json");
+        let _ = std::fs::remove_file(&out);
+        let flag = TraceFlag::to_path(out.clone());
+        let first = flag.run(tiny());
+        assert!(first.trace.is_enabled());
+        let json = std::fs::read_to_string(&out).expect("trace written");
+        assert!(
+            json.starts_with("{\"traceEvents\":["),
+            "Chrome JSON object, got: {json:.30}"
+        );
+        let second = flag.run(tiny());
+        assert!(!second.trace.is_enabled(), "only the first run is traced");
+        let _ = std::fs::remove_file(&out);
+    }
+}

@@ -24,10 +24,12 @@
 //! Criterion micro-benches (`cargo bench`) cover the §4 overhead claims:
 //! O(1)/O(P) prediction cost, addrcheck cost, scheduler and device ops.
 
+pub mod flags;
 pub mod replay;
 pub mod report;
 pub mod setups;
 
+pub use flags::{trace_flag, TraceFlag};
 pub use replay::{classify, p95_wait, replay_audit, replay_audit_with_ablation, AuditStats};
 pub use report::{
     print_cdf, print_percentiles, print_reductions, print_trace_report, reduction_at,

@@ -36,5 +36,5 @@ pub use node::{
 pub use nosql::{run_survey, surveyed_systems, NosqlSystem, SurveyRow};
 pub use sim::{
     run_experiment, ClusterSim, ExperimentConfig, ExperimentResult, InitialReplica, NoiseKind,
-    NoiseStream, Strategy, WatchLog,
+    NoiseStream, Strategy, WatchLog, CRASH_REPLY_DELAY, RETRANSMIT_DELAY,
 };

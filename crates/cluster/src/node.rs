@@ -24,6 +24,7 @@ use mitt_device::{
     BlockIo, Disk, DiskSpec, IoClass, IoId, IoIdGen, IoKind, NvramBuffer, ProcessId, Ssd, SsdSpec,
     Started, SubCompletion, SubIoKey,
 };
+use mitt_faults::FaultClock;
 use mitt_oscache::{PageCache, PageCacheConfig};
 use mitt_sched::{Cfq, CfqConfig, DiskScheduler, Noop};
 use mitt_sim::{Duration, SimRng, SimTime};
@@ -308,10 +309,12 @@ enum DiskMitt {
 }
 
 impl DiskMitt {
+    /// The admission-path wait estimate (distorted by any active
+    /// `PredictorBias` fault).
     fn predicted_wait(&self, io: &BlockIo, now: SimTime) -> Duration {
         match self {
-            DiskMitt::Noop(m) => m.predicted_wait(now),
-            DiskMitt::Cfq(m) => m.predicted_wait(io.class, io.priority, io.owner, now),
+            DiskMitt::Noop(m) => m.distorted_wait(now),
+            DiskMitt::Cfq(m) => m.distorted_wait(io.class, io.priority, io.owner, now),
         }
     }
 
@@ -492,6 +495,28 @@ impl Node {
         self.trace = sink;
     }
 
+    /// Attaches a fault clock, tagging it with this node's id and fanning
+    /// node-scoped handles into the devices, the scheduler and the
+    /// predictors (mirroring [`Node::set_trace`]).
+    pub fn set_faults(&mut self, clock: &FaultClock) {
+        let clock = clock.for_node(self.id as u32);
+        if let Some(ds) = &mut self.disk {
+            match &mut ds.mitt {
+                DiskMitt::Noop(m) => m.set_faults(clock.clone()),
+                DiskMitt::Cfq(m) => m.set_faults(clock.clone()),
+            }
+            ds.sched.set_faults(clock.clone());
+            ds.disk.set_faults(clock.clone());
+        }
+        if let Some(ss) = &mut self.ssd {
+            ss.ssd.set_faults(clock.clone());
+            ss.mitt.set_faults(clock.clone());
+        }
+        if let Some(cs) = &mut self.cache {
+            cs.mitt.set_faults(clock);
+        }
+    }
+
     /// Runs pre-IO request-handler CPU work; returns when the IO can start.
     pub fn cpu_pre(&mut self, now: SimTime) -> SimTime {
         match &mut self.cpu {
@@ -515,7 +540,7 @@ impl Node {
         if req.via_cache {
             if let Some(cs) = &mut self.cache {
                 let slo = req.deadline.map(Slo::deadline);
-                match cs.mitt.check(&cs.cache, req.offset, req.len, slo) {
+                match cs.mitt.check(&cs.cache, req.offset, req.len, slo, now) {
                     CacheVerdict::Hit => {
                         cs.cache.access(req.offset, req.len);
                         let latency = cs.cache.config().hit_latency + ADDRCHECK_COST;
@@ -747,7 +772,7 @@ impl Node {
     fn submit_ssd(&mut self, req: &ReadReq, kind: IoKind, now: SimTime) -> Submission {
         let io = self.build_io(req, kind, now);
         let ss = self.ssd.as_mut().expect("node has no SSD stack");
-        let wait = ss.mitt.predicted_wait(&io, now);
+        let wait = ss.mitt.distorted_wait(&io, now);
         let slo = io.deadline.map(Slo::deadline);
         let raw = decide(wait, slo, self.hop);
         self.emit_predict(Subsystem::MittSsd, &io, wait, raw.is_admit(), now);
@@ -874,7 +899,18 @@ impl Node {
         }
         if self.fill_after_read.remove(&fin.io.id) {
             if let Some(cs) = &mut self.cache {
-                cs.cache.insert_range(fin.io.offset, fin.io.len);
+                let evicted = cs.cache.insert_range(fin.io.offset, fin.io.len);
+                if !evicted.is_empty() {
+                    self.trace.count("cache.evicted", evicted.len() as u64);
+                    self.trace.emit(
+                        now,
+                        Subsystem::Node,
+                        EventKind::Mark {
+                            name: "cache_evict",
+                            value: evicted.len() as u64,
+                        },
+                    );
+                }
             }
         }
         DiskTickOut {
@@ -966,11 +1002,23 @@ impl Node {
         }
     }
 
-    /// Swaps out a percentage of resident pages (cache noise).
-    pub fn swap_out_pct(&mut self, pct: u32) {
+    /// Swaps out a percentage of resident pages (cache noise / thrash
+    /// faults); each eviction storm is recorded as a trace marker.
+    pub fn swap_out_pct(&mut self, pct: u32, now: SimTime) {
         if let Some(cs) = &mut self.cache {
             let mut rng = cs.swap_rng.fork();
-            cs.cache.swap_out_fraction(f64::from(pct) / 100.0, &mut rng);
+            let evicted = cs.cache.swap_out_fraction(f64::from(pct) / 100.0, &mut rng);
+            if evicted > 0 {
+                self.trace.count("cache.evicted", evicted as u64);
+                self.trace.emit(
+                    now,
+                    Subsystem::Node,
+                    EventKind::Mark {
+                        name: "cache_evict",
+                        value: evicted as u64,
+                    },
+                );
+            }
         }
     }
 

@@ -28,6 +28,9 @@
 use std::collections::HashMap;
 
 use mitt_device::{IoClass, IoId, ProcessId, SubIoKey, GB};
+use mitt_faults::{
+    BreakerState, CircuitBreaker, FaultClock, FaultKind, FaultPlan, ResilienceConfig,
+};
 use mitt_lsm::{GetStep, LsmConfig, LsmEngine};
 use mitt_sim::{Duration, EventQueue, LatencyRecorder, SimRng, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink, CLUSTER_NODE, DEFAULT_RING_CAPACITY};
@@ -36,6 +39,16 @@ use mittos::DeadlineTuner;
 
 use crate::mmapdb::{BtreeConfig, BtreePlanner};
 use crate::node::{Medium, Node, NodeConfig, ReadOutcome, ReadReq, Ticks, WriteOutcome};
+
+/// How long a client waits before concluding a request sent to a crashed
+/// node is lost (the failure-detection timeout). Every strategy without a
+/// circuit breaker pays this per try that lands on a crashed replica.
+pub const CRASH_REPLY_DELAY: Duration = Duration::from_millis(250);
+
+/// Sender-side retransmission delay after a `NetDrop` window eats a
+/// message: the copy is detected missing and resent after this long
+/// (dropped messages delay, they never strand an op).
+pub const RETRANSMIT_DELAY: Duration = Duration::from_millis(1);
 
 /// Tail-tolerance strategy under test.
 #[derive(Debug, Clone)]
@@ -239,6 +252,13 @@ pub struct ExperimentConfig {
     /// (every node plus the cluster driver share one bounded ring); the
     /// sink lands in [`ExperimentResult::trace`].
     pub trace: bool,
+    /// Scheduled fault injection (empty = healthy run; the RNG streams and
+    /// digests of planless runs are untouched).
+    pub faults: FaultPlan,
+    /// Client-side resilience policies — per-replica circuit breaker and
+    /// bounded EBUSY backoff — honoured by the MittOS strategies only.
+    /// `None` reproduces the paper's behaviour exactly.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl ExperimentConfig {
@@ -270,6 +290,8 @@ impl ExperimentConfig {
             replication_lag: Duration::ZERO,
             monotonic_guard: false,
             trace: false,
+            faults: FaultPlan::default(),
+            resilience: None,
         }
     }
 
@@ -301,6 +323,8 @@ impl ExperimentConfig {
             replication_lag: Duration::ZERO,
             monotonic_guard: false,
             trace: false,
+            faults: FaultPlan::default(),
+            resilience: None,
         }
     }
 }
@@ -340,6 +364,19 @@ pub struct ExperimentResult {
     /// The run's trace sink (disabled unless [`ExperimentConfig::trace`]
     /// was set): export with `export_chrome_json()` / `report_text()`.
     pub trace: TraceSink,
+    /// Fault windows the run activated (0 on a healthy run).
+    pub injected_faults: u64,
+    /// Messages eaten by `NetDrop` windows (each cost one retransmit).
+    pub dropped_messages: u64,
+    /// `T_wait` estimates distorted by `PredictorBias` windows.
+    pub distorted_predictions: u64,
+    /// Circuit-breaker open transitions (resilience policies only).
+    pub breaker_opens: u64,
+    /// Whole-round EBUSY backoff retries (`Strategy::MittOs` + resilience).
+    pub backoff_retries: u64,
+    /// Completion time of every get, in completion order; gaps between
+    /// consecutive entries expose unavailability windows under faults.
+    pub completion_times: Vec<SimTime>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -352,6 +389,9 @@ enum TryResult {
     Busy {
         wait: Duration,
     },
+    /// The serving node crashed before replying; the client's failure
+    /// detector delivers this verdict [`CRASH_REPLY_DELAY`] after the loss.
+    Crashed,
 }
 
 enum Ev {
@@ -419,6 +459,18 @@ enum Ev {
         idx: usize,
     },
     WatchSample,
+    FaultStart {
+        idx: usize,
+    },
+    FaultEnd {
+        idx: usize,
+    },
+    ThrashTick {
+        idx: usize,
+    },
+    RetryOp {
+        op: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -469,6 +521,11 @@ struct OpState {
     done: bool,
     started: SimTime,
     is_write: bool,
+    /// Attempts before this index belong to previous backoff rounds; the
+    /// failover walk counts tries from here.
+    round_base: usize,
+    /// Backoff rounds consumed so far (bounded by the policy).
+    backoff_round: u32,
 }
 
 struct UserReq {
@@ -507,6 +564,15 @@ pub struct ClusterSim {
     fresh_at: HashMap<(usize, u64), SimTime>,
     noise_rng: SimRng,
     net_rng: SimRng,
+    /// Shared fault clock (disabled on planless runs).
+    fault_clock: FaultClock,
+    /// Per-node handles of `fault_clock`; empty when disabled.
+    fault_handles: Vec<FaultClock>,
+    /// Per-replica client-side circuit breakers; empty unless a resilience
+    /// policy is configured for a MittOS strategy.
+    breakers: Vec<CircuitBreaker>,
+    /// Which nodes are currently crashed.
+    down: Vec<bool>,
     result: ExperimentResult,
     completed_users: usize,
     target_users: usize,
@@ -563,6 +629,28 @@ impl ClusterSim {
         };
         let noise_rng = root.fork();
         let net_rng = root.fork();
+        // Fault clock forks last, and only when a plan exists: planless
+        // runs keep the exact RNG streams (and digests) of a build without
+        // fault injection.
+        let fault_clock = if cfg.faults.is_empty() {
+            FaultClock::disabled()
+        } else {
+            FaultClock::new(cfg.faults.clone(), root.fork())
+        };
+        let fault_handles: Vec<FaultClock> = if fault_clock.is_enabled() {
+            (0..cfg.nodes)
+                .map(|i| fault_clock.for_node(i as u32))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let breakers: Vec<CircuitBreaker> = match cfg.resilience {
+            Some(r) if cfg.strategy.is_mittos() => (0..cfg.nodes)
+                .map(|_| CircuitBreaker::new(r.breaker))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let down = vec![false; cfg.nodes];
         let mut sim = ClusterSim {
             q: EventQueue::new(),
             nodes,
@@ -576,6 +664,10 @@ impl ClusterSim {
             fresh_at: HashMap::new(),
             noise_rng,
             net_rng,
+            fault_clock,
+            fault_handles,
+            breakers,
+            down,
             result: ExperimentResult {
                 user_latencies: LatencyRecorder::new(),
                 get_latencies: LatencyRecorder::new(),
@@ -587,6 +679,12 @@ impl ClusterSim {
                 watch: cfg.watch_node.map(|_| WatchLog::default()),
                 finished_at: SimTime::ZERO,
                 trace: TraceSink::disabled(),
+                injected_faults: 0,
+                dropped_messages: 0,
+                distorted_predictions: 0,
+                breaker_opens: 0,
+                backoff_retries: 0,
+                completion_times: Vec::new(),
             },
             completed_users: 0,
             target_users,
@@ -599,6 +697,12 @@ impl ClusterSim {
                 node.set_trace(&sink);
             }
             sim.result.trace = sink.for_node(CLUSTER_NODE);
+        }
+        if sim.fault_clock.is_enabled() {
+            let clock = sim.fault_clock.clone();
+            for node in &mut sim.nodes {
+                node.set_faults(&clock);
+            }
         }
         sim.setup();
         sim
@@ -667,6 +771,12 @@ impl ClusterSim {
                 );
             }
         }
+        // Fault plan: one activation and one deactivation event per window.
+        for idx in 0..self.cfg.faults.events.len() {
+            let ev = self.cfg.faults.events[idx];
+            self.q.schedule(ev.at, Ev::FaultStart { idx });
+            self.q.schedule(ev.until(), Ev::FaultEnd { idx });
+        }
         // Clients.
         for client in 0..self.cfg.clients {
             self.q.schedule(SimTime::ZERO, Ev::ClientIssue { client });
@@ -710,7 +820,7 @@ impl ClusterSim {
             };
             self.handle(now, ev);
         }
-        self.result.finished_at = self.q.now();
+        self.finalize();
         self.result
     }
 
@@ -775,6 +885,10 @@ impl ClusterSim {
                     }
                 }
             }
+            Ev::FaultStart { idx } => self.fault_start(idx, now),
+            Ev::FaultEnd { idx } => self.fault_end(idx, now),
+            Ev::ThrashTick { idx } => self.thrash_tick(idx, now),
+            Ev::RetryOp { op } => self.retry_op(op, now),
         }
     }
 
@@ -810,6 +924,8 @@ impl ClusterSim {
                 done: false,
                 started: now,
                 is_write,
+                round_base: 0,
+                backoff_round: 0,
             });
             self.start_op(op, now);
         }
@@ -837,8 +953,15 @@ impl ClusterSim {
         }
         match &self.cfg.strategy {
             Strategy::MittOs { deadline } => {
-                // The final (3rd) retry disables the deadline.
-                (attempt_no + 1 < self.cfg.replication).then_some(*deadline)
+                // The final (3rd) retry disables the deadline so the op
+                // always has a completion path. With a backoff policy the
+                // whole-round retry *is* the completion path, so the
+                // deadline stays on every try until the round budget is
+                // spent; the final round then reverts to the plain rule.
+                match self.cfg.resilience {
+                    Some(r) if self.ops[op].backoff_round < r.backoff.max_rounds => Some(*deadline),
+                    _ => (attempt_no + 1 < self.cfg.replication).then_some(*deadline),
+                }
             }
             Strategy::MittOsWait { deadline } => {
                 // The rich interface keeps the deadline on every replica
@@ -930,6 +1053,17 @@ impl ClusterSim {
                         });
                     }
                 }
+                if !self.breakers.is_empty() {
+                    // Skip replicas whose breaker is open (crashed or
+                    // fail-slow suspects); if every breaker is open keep
+                    // the default order — liveness beats the breaker.
+                    let replicas = self.ops[op].replicas.clone();
+                    if let Some(pos) =
+                        (0..replicas.len()).find(|&i| self.breakers[replicas[i]].allow(now))
+                    {
+                        self.ops[op].replicas.rotate_left(pos);
+                    }
+                }
                 let node = self.ops[op].replicas[0];
                 let d = self.deadline_for(op, 0);
                 self.send_try(op, node, now, d);
@@ -975,8 +1109,25 @@ impl ClusterSim {
         });
         let client = self.ops[op].client;
         self.clients[client].outstanding[node] += 1;
-        let delay = self.net_delay();
+        let delay = self.net_delay_node(node, now);
         self.q.schedule(now + delay, Ev::OpArrive { op, attempt });
+    }
+
+    /// One-way delay to or from `node`, honouring any active network fault
+    /// window: hop spikes add to the sample, and a dropped message costs a
+    /// detection delay plus a retransmitted copy — drops delay messages
+    /// rather than stranding ops, keeping the event loop live.
+    fn net_delay_node(&mut self, node: usize, now: SimTime) -> Duration {
+        let base = self.net_delay();
+        let Some(fc) = self.fault_handles.get(node) else {
+            return base;
+        };
+        let fc = fc.clone();
+        let mut d = base + fc.net_extra(now);
+        if fc.drop_message(now) {
+            d = d + RETRANSMIT_DELAY + self.net_delay();
+        }
+        d
     }
 
     // ------------------------------------------------------------------
@@ -985,8 +1136,27 @@ impl ClusterSim {
 
     fn op_arrive(&mut self, op: usize, attempt: usize, now: SimTime) {
         let node = self.ops[op].attempts[attempt].node;
+        if self.down[node] {
+            // Arrived at a crashed node: the client learns only after the
+            // failure-detection timeout.
+            self.crashed_reply(op, attempt, now);
+            return;
+        }
         let ready = self.nodes[node].cpu_pre(now);
         self.q.schedule(ready, Ev::SubmitIo { op, attempt });
+    }
+
+    /// Schedules the delayed failure-detector verdict for a try that was
+    /// lost to a crash.
+    fn crashed_reply(&mut self, op: usize, attempt: usize, now: SimTime) {
+        self.q.schedule(
+            now + CRASH_REPLY_DELAY,
+            Ev::Reply {
+                op,
+                attempt,
+                result: TryResult::Crashed,
+            },
+        );
     }
 
     fn submit_io(&mut self, op: usize, attempt: usize, now: SimTime) {
@@ -997,6 +1167,11 @@ impl ClusterSim {
             return;
         }
         let node_id = self.ops[op].attempts[attempt].node;
+        if self.down[node_id] {
+            // The node crashed between arrival and submission.
+            self.crashed_reply(op, attempt, now);
+            return;
+        }
         let deadline = self.ops[op].attempts[attempt].deadline;
         let offset = self.ops[op].offset;
         let is_write = self.ops[op].is_write;
@@ -1020,6 +1195,15 @@ impl ClusterSim {
                             },
                         })
                         .collect();
+                    self.result.trace.count("lsm.lookup_plans", 1);
+                    self.result.trace.emit(
+                        now,
+                        Subsystem::Cluster,
+                        EventKind::Mark {
+                            name: "lsm_plan_steps",
+                            value: steps.len() as u64,
+                        },
+                    );
                     self.ops[op].attempts[attempt].plan = Some(steps);
                     self.ops[op].attempts[attempt].step = 0;
                 }
@@ -1078,6 +1262,11 @@ impl ClusterSim {
         let node_id = att.node;
         let deadline = att.deadline;
         let step_idx = att.step;
+        if self.down[node_id] {
+            // The node crashed mid-plan: the rest of the lookup is lost.
+            self.crashed_reply(op, attempt, now);
+            return;
+        }
         let step = att.plan.as_ref().and_then(|p| p.get(step_idx)).copied();
         let Some(step) = step else {
             // Plan exhausted: the lookup answered.
@@ -1115,8 +1304,28 @@ impl ClusterSim {
     fn engine_put(&mut self, op: usize, attempt: usize, node_id: usize, now: SimTime) {
         let key = self.ops[op].key;
         let flush = self.engines[node_id].put(key, self.cfg.read_len);
+        if !flush.is_empty() {
+            self.result.trace.count("lsm.flush_ios", flush.len() as u64);
+            self.result.trace.emit(
+                now,
+                Subsystem::Cluster,
+                EventKind::Mark {
+                    name: "lsm_flush_ios",
+                    value: flush.len() as u64,
+                },
+            );
+        }
         let mut bg: Vec<mitt_lsm::LsmIo> = flush;
         if let Some(job) = self.engines[node_id].maybe_compact() {
+            self.result.trace.count("lsm.compactions", 1);
+            self.result.trace.emit(
+                now,
+                Subsystem::Cluster,
+                EventKind::Mark {
+                    name: "lsm_compaction_ios",
+                    value: (job.reads.len() + job.writes.len()) as u64,
+                },
+            );
             bg.extend(job.reads);
             bg.extend(job.writes);
         }
@@ -1165,7 +1374,7 @@ impl ClusterSim {
                 attempt: batt,
             }) = self.io_ctx.remove(&(node_id, id))
             {
-                let delay = self.net_delay();
+                let delay = self.net_delay_node(node_id, now);
                 self.q.schedule(
                     now + delay,
                     Ev::Reply {
@@ -1211,7 +1420,7 @@ impl ClusterSim {
                 ticks,
             } => {
                 self.schedule_ticks(node_id, ticks, now);
-                let delay = self.net_delay() + Duration::from_micros(5);
+                let delay = self.net_delay_node(node_id, now) + Duration::from_micros(5);
                 self.q.schedule(
                     now + delay,
                     Ev::Reply {
@@ -1274,7 +1483,7 @@ impl ClusterSim {
         };
         if let Some(other_io) = other_att.io {
             let other_node = other_att.node;
-            let delay = self.net_delay();
+            let delay = self.net_delay_node(other_node, now);
             self.q.schedule(
                 now + delay,
                 Ev::TiedCancel {
@@ -1335,8 +1544,13 @@ impl ClusterSim {
 
     fn local_done(&mut self, op: usize, attempt: usize, now: SimTime) {
         let node = self.ops[op].attempts[attempt].node;
+        if self.down[node] {
+            // The node crashed after serving the IO but before replying.
+            self.crashed_reply(op, attempt, now);
+            return;
+        }
         let ready = self.nodes[node].cpu_post(now);
-        let delay = self.net_delay();
+        let delay = self.net_delay_node(node, now);
         // Piggyback the server's current IO backlog on the reply
         // (C3-style feedback; other strategies ignore it).
         let server_queue = self.nodes[node].disk_occupancy();
@@ -1361,6 +1575,16 @@ impl ClusterSim {
             self.clients[client].outstanding[node] -= 1;
         }
         self.ops[op].attempts[attempt].resolved = true;
+        // Per-replica circuit-breaker feedback (late replies still count:
+        // the breaker tracks replica health, not op outcomes).
+        if !self.breakers.is_empty() {
+            match result {
+                TryResult::Ok { .. } => self.breakers[node].on_success(),
+                TryResult::Busy { .. } | TryResult::Crashed => {
+                    self.breakers[node].on_failure(now);
+                }
+            }
+        }
         // Adaptive latency feedback.
         if let Strategy::Snitch { alpha } = self.cfg.strategy {
             let sample = now.saturating_since(self.ops[op].started).as_secs_f64() * 1e9;
@@ -1397,20 +1621,32 @@ impl ClusterSim {
             TryResult::Busy { wait } => {
                 self.result.ebusy += 1;
                 self.ops[op].busy_waits.push((node, wait));
-                let tries = self.ops[op].attempts.len();
+                let tries = self.ops[op].attempts.len() - self.ops[op].round_base;
                 if self.cfg.strategy.is_mittos() {
                     if tries < self.cfg.replication {
                         self.result.retries += 1;
-                        let next_node = self.ops[op].replicas[tries % self.ops[op].replicas.len()];
+                        let next_node = self.next_replica(op, tries, now);
                         self.emit_failover(op, node, next_node, now);
                         let d = self.deadline_for(op, tries);
                         self.send_try(op, next_node, now, d);
                     } else if matches!(self.cfg.strategy, Strategy::MittOsWait { .. }) {
                         // All replicas busy: 4th try to the least-busy one,
-                        // deadline disabled (§7.8.1 extension).
+                        // deadline disabled (§7.8.1 extension). With a
+                        // breaker, suspected-dead replicas are excluded
+                        // unless no candidate remains.
                         self.result.retries += 1;
-                        let (best_node, _) = self.ops[op]
-                            .busy_waits
+                        let mut candidates = self.ops[op].busy_waits.clone();
+                        if !self.breakers.is_empty() {
+                            let healthy: Vec<(usize, Duration)> = candidates
+                                .iter()
+                                .copied()
+                                .filter(|&(n, _)| self.breakers[n].state(now) != BreakerState::Open)
+                                .collect();
+                            if !healthy.is_empty() {
+                                candidates = healthy;
+                            }
+                        }
+                        let (best_node, _) = candidates
                             .iter()
                             .min_by_key(|&&(_, w)| w)
                             .copied()
@@ -1419,10 +1655,22 @@ impl ClusterSim {
                         self.send_try(op, best_node, now, None);
                     } else {
                         // All tries rejected even with the deadline
-                        // disabled on the last: surface an error. With
+                        // disabled on the last. With a backoff policy the
+                        // client sits out briefly and retries a fresh
+                        // round; otherwise surface an error — with
                         // P(3 nodes busy) tiny (§6) this is rare.
-                        self.result.errors += 1;
-                        self.complete_op(op, attempt, now);
+                        let backoff = self.cfg.resilience.map(|r| r.backoff);
+                        let round = self.ops[op].backoff_round;
+                        if let Some(delay) = backoff.and_then(|b| b.delay(round)) {
+                            self.ops[op].backoff_round = round + 1;
+                            self.ops[op].round_base = self.ops[op].attempts.len();
+                            self.result.backoff_retries += 1;
+                            self.result.trace.count("cluster.backoff", 1);
+                            self.q.schedule(now + delay, Ev::RetryOp { op });
+                        } else {
+                            self.result.errors += 1;
+                            self.complete_op(op, attempt, now);
+                        }
                     }
                 } else {
                     // Non-MittOS strategies never see EBUSY.
@@ -1430,7 +1678,59 @@ impl ClusterSim {
                     self.complete_op(op, attempt, now);
                 }
             }
+            TryResult::Crashed => {
+                self.result.trace.count("cluster.crash_detected", 1);
+                if self.ops[op].attempts.iter().any(|a| !a.resolved) {
+                    // A sibling try (clone/hedge/tie) is still in flight:
+                    // let it win.
+                    return;
+                }
+                let tries = self.ops[op].attempts.len() - self.ops[op].round_base;
+                if tries < self.cfg.replication {
+                    // Connection-level failure: every strategy fails over
+                    // (distinct from tail-latency timeouts), each lost try
+                    // having already paid the detection delay.
+                    self.result.retries += 1;
+                    let next_node = self.next_replica(op, tries, now);
+                    self.emit_failover(op, node, next_node, now);
+                    let d = self.deadline_for(op, tries);
+                    self.send_try(op, next_node, now, d);
+                } else {
+                    // Every replica looks dead: surface the outage.
+                    self.result.errors += 1;
+                    self.complete_op(op, attempt, now);
+                }
+            }
         }
+    }
+
+    /// Picks the replica for retry round `tries`, skipping replicas whose
+    /// circuit breaker is open. Falls back to the plain rotation when every
+    /// candidate is open — liveness beats the breaker.
+    fn next_replica(&mut self, op: usize, tries: usize, now: SimTime) -> usize {
+        let replicas = self.ops[op].replicas.clone();
+        let default = replicas[tries % replicas.len()];
+        if self.breakers.is_empty() {
+            return default;
+        }
+        for i in 0..replicas.len() {
+            let cand = replicas[(tries + i) % replicas.len()];
+            if self.breakers[cand].allow(now) {
+                return cand;
+            }
+        }
+        default
+    }
+
+    /// A backoff delay expired: issue a fresh fast-reject round.
+    fn retry_op(&mut self, op: usize, now: SimTime) {
+        if self.ops[op].done {
+            return;
+        }
+        self.result.retries += 1;
+        let node = self.next_replica(op, 0, now);
+        let d = self.deadline_for(op, 0);
+        self.send_try(op, node, now, d);
     }
 
     /// Records an EBUSY-triggered replica switch in the trace.
@@ -1486,6 +1786,7 @@ impl ClusterSim {
         );
         let latency = now.saturating_since(self.ops[op].started);
         self.result.get_latencies.record(latency);
+        self.result.completion_times.push(now);
         let user = self.ops[op].user;
         self.users[user].remaining -= 1;
         if self.users[user].remaining == 0 {
@@ -1609,7 +1910,7 @@ impl ClusterSim {
         let kind = self.cfg.noise[stream].kind.clone();
         match kind {
             NoiseKind::CacheSwap => {
-                self.nodes[node].swap_out_pct(burst.intensity);
+                self.nodes[node].swap_out_pct(burst.intensity, now);
             }
             NoiseKind::DiskReads { .. } | NoiseKind::SsdWrites { .. } => {
                 for _ in 0..burst.intensity {
@@ -1723,6 +2024,129 @@ impl ClusterSim {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection.
+    // ------------------------------------------------------------------
+
+    /// A planned fault window opens. The shared clock answers most queries
+    /// (service multipliers, stalls, caps, distortions) from the device and
+    /// predictor layers; only the cluster-level kinds — crash, thrash —
+    /// need driver action here.
+    fn fault_start(&mut self, idx: usize, now: SimTime) {
+        let ev = self.cfg.faults.events[idx];
+        self.fault_clock.record_injection();
+        self.result.trace.count("cluster.fault_injected", 1);
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::FaultStart {
+                fault: idx as u64,
+                name: ev.kind.name(),
+            },
+        );
+        match ev.kind {
+            FaultKind::NodeCrash => match ev.node {
+                Some(n) => self.node_crash(n, now),
+                None => {
+                    for n in 0..self.cfg.nodes {
+                        self.node_crash(n, now);
+                    }
+                }
+            },
+            FaultKind::CacheThrash { evict_pct, period } => {
+                self.apply_thrash(idx, evict_pct, now);
+                if !period.is_zero() {
+                    self.q.schedule(now + period, Ev::ThrashTick { idx });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A fault window closes; crashed nodes restart. The restart model is
+    /// a process restart with warm device state — the gentlest case, and
+    /// the outage still shows in the latency tail.
+    fn fault_end(&mut self, idx: usize, now: SimTime) {
+        let ev = self.cfg.faults.events[idx];
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::FaultEnd {
+                fault: idx as u64,
+                name: ev.kind.name(),
+            },
+        );
+        if matches!(ev.kind, FaultKind::NodeCrash) {
+            match ev.node {
+                Some(n) => self.down[n] = false,
+                None => self.down.iter_mut().for_each(|d| *d = false),
+            }
+        }
+    }
+
+    /// Marks a node down and orphans its in-flight client IOs: their
+    /// replies become `Crashed` verdicts after the detection timeout. The
+    /// orphan sweep is sorted by IO id so the schedule stays deterministic
+    /// (the context map iterates in arbitrary order).
+    fn node_crash(&mut self, node: usize, now: SimTime) {
+        self.down[node] = true;
+        let mut orphans: Vec<(IoId, usize, usize)> = self
+            .io_ctx
+            .iter()
+            .filter_map(|(&(n, io), ctx)| match *ctx {
+                IoCtx::Get { op, attempt } if n == node => Some((io, op, attempt)),
+                _ => None,
+            })
+            .collect();
+        orphans.sort_by_key(|&(io, _, _)| io);
+        for (io, op, attempt) in orphans {
+            self.io_ctx.remove(&(node, io));
+            self.crashed_reply(op, attempt, now);
+        }
+    }
+
+    /// Force-evicts a slice of resident pages on the thrash target(s).
+    fn apply_thrash(&mut self, idx: usize, pct: u32, now: SimTime) {
+        match self.cfg.faults.events[idx].node {
+            Some(n) => {
+                self.nodes[n].swap_out_pct(pct, now);
+            }
+            None => {
+                for n in 0..self.cfg.nodes {
+                    self.nodes[n].swap_out_pct(pct, now);
+                }
+            }
+        }
+    }
+
+    /// Re-applies an eviction storm every `period` while its window lasts.
+    fn thrash_tick(&mut self, idx: usize, now: SimTime) {
+        let ev = self.cfg.faults.events[idx];
+        if !ev.active_at(now) {
+            return;
+        }
+        if let FaultKind::CacheThrash { evict_pct, period } = ev.kind {
+            self.apply_thrash(idx, evict_pct, now);
+            if !period.is_zero() {
+                self.q.schedule(now + period, Ev::ThrashTick { idx });
+            }
+        }
+    }
+
+    /// Folds fault and resilience counters into the result; called on both
+    /// run paths (the event loop and the manual watch-node loop).
+    fn finalize(&mut self) {
+        self.result.finished_at = self.q.now();
+        for b in &self.breakers {
+            self.result.breaker_opens += b.opens();
+        }
+        if self.fault_clock.is_enabled() {
+            self.result.injected_faults = self.fault_clock.injected();
+            self.result.dropped_messages = self.fault_clock.dropped_messages();
+            self.result.distorted_predictions = self.fault_clock.distorted_predictions();
+        }
+    }
+
     /// Collects the watch-node EBUSY timeline into the result after a run.
     /// (Occupancy samples are collected live; EBUSY times live on the
     /// node.)
@@ -1748,7 +2172,7 @@ pub fn run_experiment(cfg: ExperimentConfig) -> ExperimentResult {
             };
             sim.handle(now, ev);
         }
-        sim.result.finished_at = sim.q.now();
+        sim.finalize();
         let ebusy = sim.watch_node_ebusy();
         let mut result = sim.result;
         if let Some(w) = &mut result.watch {

@@ -13,8 +13,9 @@
 //! out), not cold first accesses; and after EBUSY the OS should keep
 //! swapping the data in anyway so the tenant's cache share is not starved.
 
+use mitt_faults::FaultClock;
 use mitt_oscache::{PageCache, RangeCheck};
-use mitt_sim::Duration;
+use mitt_sim::{Duration, SimTime};
 use mitt_trace::{Subsystem, TraceSink};
 
 use crate::slo::Slo;
@@ -51,6 +52,7 @@ pub struct MittCache {
     /// deadline below this means "I expect a cache hit".
     min_io_latency: Duration,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl MittCache {
@@ -60,14 +62,21 @@ impl MittCache {
         MittCache {
             min_io_latency,
             trace: TraceSink::disabled(),
+            faults: FaultClock::disabled(),
         }
     }
 
-    /// Attaches a trace sink; every check bumps an admit/reject counter.
-    /// (`check` takes no timestamp, so MittCache contributes metrics only;
-    /// the cache-hit *events* are emitted by the node, which knows `now`.)
+    /// Attaches a trace sink; every check bumps an admit/reject counter
+    /// (the cache-hit *events* are emitted by the node).
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches a fault clock; `PredictorBias` windows distort the storage
+    /// floor the residency-expectation test compares against, producing
+    /// spurious EBUSYs (over-rejection) while active.
+    pub fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 
     /// The storage floor used for the residency-expectation test.
@@ -82,17 +91,21 @@ impl MittCache {
         offset: u64,
         len: u32,
         slo: Option<Slo>,
+        now: SimTime,
     ) -> CacheVerdict {
         let rc: RangeCheck = cache.addrcheck(offset, len);
         if rc.resident {
             self.trace.count(Subsystem::MittCache.admit_counter(), 1);
             return CacheVerdict::Hit;
         }
+        // A miscalibration fault inflates the perceived storage floor, so
+        // deadlines that actually leave room for device IO look hopeless.
+        let floor = self.faults.distort_wait(now, self.min_io_latency);
         if let Some(slo) = slo {
             // The user expects memory speed but the data is not resident.
             // Only *contention* (swapped-out pages) earns an EBUSY; cold
             // first-time accesses fall through to the device.
-            if slo.deadline < self.min_io_latency && rc.contended {
+            if slo.deadline < floor && rc.contended {
                 self.trace.count(Subsystem::MittCache.reject_counter(), 1);
                 return CacheVerdict::Busy {
                     refill: rc.missing_pages,
@@ -126,7 +139,10 @@ mod tests {
     fn resident_range_hits() {
         let (mc, mut cache) = setup();
         cache.insert_range(0, 8192);
-        assert_eq!(mc.check(&cache, 0, 8192, tight()), CacheVerdict::Hit);
+        assert_eq!(
+            mc.check(&cache, 0, 8192, tight(), SimTime::ZERO),
+            CacheVerdict::Hit
+        );
     }
 
     #[test]
@@ -134,7 +150,7 @@ mod tests {
         let (mc, mut cache) = setup();
         cache.insert_range(0, 4096);
         cache.fadvise_dontneed(0, 4096);
-        match mc.check(&cache, 0, 4096, tight()) {
+        match mc.check(&cache, 0, 4096, tight(), SimTime::ZERO) {
             CacheVerdict::Busy { refill } => assert_eq!(refill, vec![0]),
             v => panic!("expected Busy, got {v:?}"),
         }
@@ -143,7 +159,7 @@ mod tests {
     #[test]
     fn cold_miss_never_busy() {
         let (mc, cache) = setup();
-        match mc.check(&cache, 0, 4096, tight()) {
+        match mc.check(&cache, 0, 4096, tight(), SimTime::ZERO) {
             CacheVerdict::Miss {
                 missing_pages,
                 contended,
@@ -161,7 +177,7 @@ mod tests {
         cache.insert_range(0, 4096);
         cache.fadvise_dontneed(0, 4096);
         let slo = Some(Slo::deadline(Duration::from_millis(20)));
-        match mc.check(&cache, 0, 4096, slo) {
+        match mc.check(&cache, 0, 4096, slo, SimTime::ZERO) {
             CacheVerdict::Miss { contended, .. } => assert!(contended),
             v => panic!("expected Miss, got {v:?}"),
         }
@@ -173,7 +189,7 @@ mod tests {
         cache.insert_range(0, 4096);
         cache.fadvise_dontneed(0, 4096);
         assert!(matches!(
-            mc.check(&cache, 0, 4096, None),
+            mc.check(&cache, 0, 4096, None, SimTime::ZERO),
             CacheVerdict::Miss { .. }
         ));
     }

@@ -23,6 +23,7 @@
 use std::collections::{HashMap, HashSet};
 
 use mitt_device::{BlockIo, IoClass, IoId, ProcessId};
+use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -84,6 +85,7 @@ pub struct MittCfq {
     rejected: u64,
     bumped_total: u64,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl MittCfq {
@@ -102,6 +104,7 @@ impl MittCfq {
             rejected: 0,
             bumped_total: 0,
             trace: TraceSink::disabled(),
+            faults: FaultClock::disabled(),
         }
     }
 
@@ -109,6 +112,12 @@ impl MittCfq {
     /// event and bump-cancels are counted.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches a fault clock; `PredictorBias` windows distort the wait
+    /// estimate fed into admission decisions (ledgers stay accurate).
+    pub fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 
     fn bucket_of(ns: i64) -> i64 {
@@ -147,9 +156,23 @@ impl MittCfq {
         Duration::from_nanos((device + ahead).max(0) as u64)
     }
 
+    /// [`MittCfq::predicted_wait`] as the admission path sees it: any
+    /// active `PredictorBias` fault distorts the estimate. Callers doing
+    /// their own admission (the cluster node) must use this variant.
+    pub fn distorted_wait(
+        &self,
+        class: IoClass,
+        priority: u8,
+        owner: ProcessId,
+        now: SimTime,
+    ) -> Duration {
+        self.faults
+            .distort_wait(now, self.predicted_wait(class, priority, owner, now))
+    }
+
     /// The admission check with bump detection.
     pub fn admit(&mut self, io: &BlockIo, now: SimTime) -> CfqAdmission {
-        let wait = self.predicted_wait(io.class, io.priority, io.owner, now);
+        let wait = self.distorted_wait(io.class, io.priority, io.owner, now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
         self.trace.emit(

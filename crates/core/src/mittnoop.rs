@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use mitt_device::{BlockIo, IoId};
+use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -38,6 +39,7 @@ pub struct MittNoop {
     rejected: u64,
     admitted: u64,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl MittNoop {
@@ -52,6 +54,7 @@ impl MittNoop {
             rejected: 0,
             admitted: 0,
             trace: TraceSink::disabled(),
+            faults: FaultClock::disabled(),
         }
     }
 
@@ -59,6 +62,13 @@ impl MittNoop {
     /// event.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches a fault clock; `PredictorBias` windows distort the wait
+    /// estimate fed into admission decisions (the mirror itself stays
+    /// accurate, so calibration is unaffected).
+    pub fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 
     /// Predicted wait for an IO arriving at `now` (before admission).
@@ -73,10 +83,17 @@ impl MittNoop {
         self.profile.service(self.last_tail, io.offset, io.len)
     }
 
+    /// [`MittNoop::predicted_wait`] as the admission path sees it: any
+    /// active `PredictorBias` fault distorts the estimate. Callers doing
+    /// their own admission (the cluster node) must use this variant.
+    pub fn distorted_wait(&self, now: SimTime) -> Duration {
+        self.faults.distort_wait(now, self.predicted_wait(now))
+    }
+
     /// The admission check: rejects (without any state change) when the
     /// deadline cannot be met; otherwise accounts the IO and admits.
     pub fn admit(&mut self, io: &BlockIo, now: SimTime) -> Decision {
-        let wait = self.predicted_wait(now);
+        let wait = self.distorted_wait(now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
         self.trace.emit(

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use mitt_device::{BlockIo, IoId, IoKind, SsdSpec};
+use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -44,6 +45,7 @@ pub struct MittSsd {
     admitted: u64,
     rejected: u64,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl MittSsd {
@@ -64,6 +66,7 @@ impl MittSsd {
             admitted: 0,
             rejected: 0,
             trace: TraceSink::disabled(),
+            faults: FaultClock::disabled(),
         }
     }
 
@@ -71,6 +74,13 @@ impl MittSsd {
     /// event.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches a fault clock; `PredictorBias` windows distort the wait
+    /// estimate fed into admission decisions (the geometry mirror itself
+    /// stays accurate).
+    pub fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 
     fn chip_of_page(&self, lpn: u64) -> usize {
@@ -106,10 +116,17 @@ impl MittSsd {
         Duration::from_nanos(worst.max(0) as u64)
     }
 
+    /// [`MittSsd::predicted_wait`] as the admission path sees it: any
+    /// active `PredictorBias` fault distorts the estimate. Callers doing
+    /// their own admission (the cluster node) must use this variant.
+    pub fn distorted_wait(&self, io: &BlockIo, now: SimTime) -> Duration {
+        self.faults.distort_wait(now, self.predicted_wait(io, now))
+    }
+
     /// The admission check. On rejection, *no* sub-page is accounted: the
     /// request never reaches the device.
     pub fn admit(&mut self, io: &BlockIo, now: SimTime) -> Decision {
-        let wait = self.predicted_wait(io, now);
+        let wait = self.distorted_wait(io, now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
         self.trace.emit(

@@ -13,10 +13,15 @@
 //! therefore carries a bounded per-IO error — the source of the small
 //! calibration diffs (<3ms) reported in §7.6.
 
+use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
 use crate::io::{BlockIo, IoId};
+
+/// Span label for per-IO device service (Dispatch -> Complete); renders as
+/// stacked spans on the disk track in Perfetto.
+pub const DISK_IO_SPAN: &str = "disk_io";
 
 /// Static performance parameters of a disk.
 #[derive(Debug, Clone)]
@@ -148,6 +153,7 @@ pub struct Disk {
     in_flight: Option<InFlight>,
     served: u64,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl Disk {
@@ -161,12 +167,18 @@ impl Disk {
             in_flight: None,
             served: 0,
             trace: TraceSink::disabled(),
+            faults: FaultClock::disabled(),
         }
     }
 
     /// Attaches a trace sink; the device emits dispatch/complete events.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches a fault clock; fail-slow windows scale service times.
+    pub fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 
     /// The device's static parameters.
@@ -205,17 +217,24 @@ impl Disk {
     }
 
     /// Samples the actual service time for an IO starting at the current
-    /// head position (advances the jitter RNG).
-    fn sample_service(&mut self, io: &BlockIo) -> Duration {
+    /// head position (advances the jitter RNG). An active fail-slow window
+    /// scales the whole service time.
+    fn sample_service(&mut self, io: &BlockIo, now: SimTime) -> Duration {
         let rot = Duration::from_nanos(self.rng.range_u64(0, self.spec.rot_max.as_nanos().max(1)));
-        self.spec.cmd_overhead
+        let service = self.spec.cmd_overhead
             + self.spec.seek_cost(self.head, io.offset)
             + rot
-            + self.spec.transfer_cost(io.len)
+            + self.spec.transfer_cost(io.len);
+        let mult = self.faults.disk_service_multiplier(now);
+        if mult != 1.0 {
+            service.mul_f64(mult)
+        } else {
+            service
+        }
     }
 
     fn start(&mut self, io: BlockIo, now: SimTime) -> Started {
-        let service = self.sample_service(&io);
+        let service = self.sample_service(&io, now);
         let done_at = now + service;
         let id = io.id;
         self.head = io.end_offset().min(self.spec.capacity);
@@ -227,6 +246,14 @@ impl Disk {
         });
         self.trace
             .emit(now, Subsystem::Disk, EventKind::Dispatch { io: id.0 });
+        self.trace.emit(
+            now,
+            Subsystem::Disk,
+            EventKind::SpanBegin {
+                name: DISK_IO_SPAN,
+                id: id.0,
+            },
+        );
         Started { id, done_at }
     }
 
@@ -265,6 +292,14 @@ impl Disk {
             fl.done_at
         );
         self.served += 1;
+        self.trace.emit(
+            now,
+            Subsystem::Disk,
+            EventKind::SpanEnd {
+                name: DISK_IO_SPAN,
+                id: fl.io.id.0,
+            },
+        );
         self.trace.emit(
             now,
             Subsystem::Disk,
@@ -433,7 +468,7 @@ mod tests {
     }
 
     #[test]
-    fn traced_disk_emits_dispatch_and_complete() {
+    fn traced_disk_emits_dispatch_complete_and_service_spans() {
         let sink = TraceSink::enabled(16);
         let mut d = disk();
         d.set_trace(sink.for_node(3));
@@ -441,8 +476,51 @@ mod tests {
         let s = d.submit(rd(&mut g, 0), SimTime::ZERO).unwrap().unwrap();
         d.complete(s.done_at).unwrap();
         let kinds: Vec<_> = sink.events().iter().map(|e| e.kind.name()).collect();
-        assert_eq!(kinds, vec!["dispatch", "complete"]);
+        assert_eq!(kinds, vec!["dispatch", "disk_io", "disk_io", "complete"]);
+        assert!(matches!(
+            sink.events()[1].kind,
+            EventKind::SpanBegin {
+                name: DISK_IO_SPAN,
+                id: 0
+            }
+        ));
+        assert!(matches!(
+            sink.events()[2].kind,
+            EventKind::SpanEnd {
+                name: DISK_IO_SPAN,
+                id: 0
+            }
+        ));
         assert!(sink.events().iter().all(|e| e.node == 3));
+    }
+
+    #[test]
+    fn fail_slow_window_scales_service_time() {
+        use mitt_faults::FaultPlan;
+        let sample = |faulted: bool| {
+            let mut d = disk();
+            if faulted {
+                let plan = FaultPlan::new().fail_slow(
+                    0,
+                    SimTime::ZERO,
+                    Duration::from_secs(10),
+                    4.0,
+                    Duration::ZERO,
+                );
+                d.set_faults(FaultClock::new(plan, SimRng::new(9)).for_node(0));
+            }
+            let mut g = IoIdGen::new();
+            let s = d
+                .submit(rd(&mut g, 500 * GB), SimTime::ZERO)
+                .unwrap()
+                .unwrap();
+            let (fin, _) = d.complete(s.done_at).unwrap();
+            fin.service
+        };
+        let healthy = sample(false);
+        let slow = sample(true);
+        // Same seed, same rotational jitter: exactly 4x.
+        assert_eq!(slow, healthy.mul_f64(4.0), "{healthy} -> {slow}");
     }
 
     #[test]

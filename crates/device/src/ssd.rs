@@ -15,6 +15,7 @@
 //! that the predictor cannot see (the source of Figure 9b's ≤0.8%
 //! inaccuracy).
 
+use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimRng, SimTime};
 
 use crate::io::{BlockIo, IoId, IoKind};
@@ -176,6 +177,7 @@ pub struct Ssd {
     chips: Vec<Chip>,
     channel_outstanding: Vec<u32>,
     served_pages: u64,
+    faults: FaultClock,
 }
 
 impl Ssd {
@@ -195,7 +197,13 @@ impl Ssd {
             chips,
             channel_outstanding,
             served_pages: 0,
+            faults: FaultClock::disabled(),
         }
+    }
+
+    /// Attaches a fault clock; stall windows extend every flash sub-IO.
+    pub fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 
     /// The device's static parameters.
@@ -271,10 +279,11 @@ impl Ssd {
         let mut out = SsdSubmit::default();
         let first_lpn = io.offset / u64::from(self.spec.page_size);
         let last_lpn = (io.end_offset().saturating_sub(1)) / u64::from(self.spec.page_size);
+        let stall = self.faults.ssd_stall(now);
         for (index, lpn) in (first_lpn..=last_lpn).enumerate() {
             let chip = self.spec.chip_of_page(lpn);
             let channel = self.spec.channel_of(chip);
-            let busy = self.page_busy(io.kind, chip);
+            let busy = self.page_busy(io.kind, chip) + stall;
             let start = self.chips[chip].next_free.max(now);
             self.chips[chip].next_free = start + busy;
             let queue_delay =
@@ -355,6 +364,34 @@ mod tests {
         assert_eq!(out.subs.len(), 1);
         assert_eq!(out.subs[0].done_at.as_micros(), 100);
         assert!(out.gc.is_empty());
+    }
+
+    #[test]
+    fn stall_window_extends_every_sub_io() {
+        use mitt_faults::FaultPlan;
+        let mut s = ssd();
+        let plan = FaultPlan::new().ssd_stall(
+            0,
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            Duration::from_micros(500),
+        );
+        s.set_faults(FaultClock::new(plan, SimRng::new(2)).for_node(0));
+        let mut g = IoIdGen::new();
+        let page = s.spec().page_size;
+        let out = s.submit(&rd(&mut g, 0, 2 * page), SimTime::ZERO);
+        // read_page 100us + 500us stall per sub-IO, distinct chips.
+        assert!(out.subs.iter().all(|sub| sub.done_at.as_micros() == 600));
+        for sub in &out.subs {
+            s.complete_sub(sub.channel, sub.done_at);
+        }
+        // Outside the window the stall vanishes.
+        let after = s.submit(&rd(&mut g, 0, 4096), SimTime::from_nanos(2_000_000_000));
+        assert_eq!(
+            after.subs[0].done_at.as_micros(),
+            2_000_100,
+            "stall must not outlive its window"
+        );
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Client-side resilience policies: per-replica circuit breaking and
+//! bounded exponential backoff.
+//!
+//! The paper's MittOS client retries EBUSY on the next replica and, in the
+//! wait-variant, falls back to the least-busy replica on the 4th try. Under
+//! a *persistent* fault (a crashed or fail-slow replica) that policy keeps
+//! hammering the dead node and pays the detection cost on every request.
+//! The [`CircuitBreaker`] remembers recent per-replica outcomes so the
+//! client can stop selecting a replica that has failed `K` times in a row,
+//! probing it again only after a cooldown; [`BackoffConfig`] bounds the
+//! retry storm when *every* replica rejects.
+//!
+//! The state machine is the classic three-state breaker, driven entirely by
+//! the virtual clock:
+//!
+//! ```text
+//!            K consecutive failures
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ cooldown elapses
+//!     │ probe succeeds                  ▼
+//!     └───────────────────────────── HalfOpen ──▶ Open (probe fails)
+//! ```
+
+use mitt_sim::{Duration, SimTime};
+
+/// Tuning for one replica's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (EBUSY or crash) that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    /// Open after 3 consecutive failures; probe again after 50 ms.
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Observable breaker state at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is allowed through.
+    HalfOpen,
+}
+
+/// A per-replica circuit breaker driven by the virtual clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    consecutive_failures: u32,
+    /// `Some(when)` while open/half-open: the instant the breaker tripped.
+    opened_at: Option<SimTime>,
+    /// True once the half-open probe has been handed out.
+    probe_inflight: bool,
+    /// Times this breaker transitioned Closed -> Open.
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            consecutive_failures: 0,
+            opened_at: None,
+            probe_inflight: false,
+            opens: 0,
+        }
+    }
+
+    /// The state at `now`.
+    pub fn state(&self, now: SimTime) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(opened) => {
+                if now.saturating_since(opened) >= self.cfg.cooldown {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// Whether a request may be sent to this replica at `now`. A half-open
+    /// breaker admits exactly one probe per cooldown window; the probe's
+    /// outcome (via [`CircuitBreaker::on_success`] /
+    /// [`CircuitBreaker::on_failure`]) settles the state.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful response: closes the breaker and clears the
+    /// failure streak.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probe_inflight = false;
+    }
+
+    /// Records a failed response (EBUSY or crash) at `now`: extends the
+    /// streak, and trips (or re-trips after a failed probe) the breaker.
+    pub fn on_failure(&mut self, now: SimTime) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let tripped = self.opened_at.is_some();
+        if tripped && self.probe_inflight {
+            // Failed half-open probe: restart the cooldown from now.
+            self.opened_at = Some(now);
+            self.probe_inflight = false;
+        } else if !tripped && self.consecutive_failures >= self.cfg.failure_threshold {
+            self.opened_at = Some(now);
+            self.probe_inflight = false;
+            self.opens += 1;
+        }
+    }
+
+    /// Times this breaker transitioned Closed -> Open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Current consecutive-failure streak.
+    pub fn failure_streak(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+/// Bounded exponential backoff for all-replicas-EBUSY storms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay before the first full-cluster retry.
+    pub base: Duration,
+    /// Cap on any single delay.
+    pub max: Duration,
+    /// Retry rounds before the op is failed to the application.
+    pub max_rounds: u32,
+}
+
+impl Default for BackoffConfig {
+    /// 2 ms base doubling to a 32 ms cap, at most 4 rounds.
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(32),
+            max_rounds: 4,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// Delay before retry round `round` (0-based), or `None` once the
+    /// round budget is spent: `min(base * 2^round, max)`.
+    pub fn delay(&self, round: u32) -> Option<Duration> {
+        if round >= self.max_rounds {
+            return None;
+        }
+        let factor = 1u64 << round.min(32);
+        Some(Duration::from_nanos(self.base.as_nanos().saturating_mul(factor)).min(self.max))
+    }
+}
+
+/// The client-side resilience bundle threaded into the cluster driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceConfig {
+    /// Per-replica circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// All-replicas-EBUSY retry backoff.
+    pub backoff: BackoffConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(10),
+        })
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures() {
+        let mut b = breaker();
+        b.on_failure(at(1));
+        b.on_failure(at(2));
+        assert_eq!(b.state(at(2)), BreakerState::Closed);
+        b.on_failure(at(3));
+        assert_eq!(b.state(at(3)), BreakerState::Open);
+        assert!(!b.allow(at(4)));
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = breaker();
+        b.on_failure(at(1));
+        b.on_failure(at(2));
+        b.on_success();
+        b.on_failure(at(3));
+        b.on_failure(at(4));
+        assert_eq!(b.state(at(4)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_allows_one_probe_then_settles() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.on_failure(at(t));
+        }
+        // Cooldown is 10ms from the trip at t=3.
+        assert_eq!(b.state(at(12)), BreakerState::Open);
+        assert_eq!(b.state(at(13)), BreakerState::HalfOpen);
+        assert!(b.allow(at(13)), "first probe goes through");
+        assert!(!b.allow(at(13)), "second concurrent probe is held");
+        b.on_success();
+        assert_eq!(b.state(at(14)), BreakerState::Closed);
+        assert!(b.allow(at(14)));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.on_failure(at(t));
+        }
+        assert!(b.allow(at(20)));
+        b.on_failure(at(20));
+        assert_eq!(b.state(at(25)), BreakerState::Open);
+        assert_eq!(b.state(at(30)), BreakerState::HalfOpen);
+        assert_eq!(b.opens(), 1, "re-trip after probe is not a fresh open");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_and_bounds_rounds() {
+        let b = BackoffConfig {
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(12),
+            max_rounds: 4,
+        };
+        assert_eq!(b.delay(0), Some(Duration::from_millis(2)));
+        assert_eq!(b.delay(1), Some(Duration::from_millis(4)));
+        assert_eq!(b.delay(2), Some(Duration::from_millis(8)));
+        assert_eq!(b.delay(3), Some(Duration::from_millis(12)), "capped");
+        assert_eq!(b.delay(4), None, "round budget spent");
+    }
+}

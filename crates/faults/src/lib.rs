@@ -1,0 +1,638 @@
+//! Deterministic fault injection for the MittOS simulator.
+//!
+//! The paper's value proposition is behavior *under adversity*: MittOS wins
+//! precisely when disks fail slow, queues spike, and replicas go dark. This
+//! crate is the scenario generator for that adversity — a [`FaultPlan`] of
+//! virtual-clock-scheduled fault events (node crashes, fail-slow disks, SSD
+//! stalls, scheduler degradation, page-cache thrash, network spikes and
+//! drops, predictor miscalibration), realized at run time through a
+//! [`FaultClock`] handle threaded into the device, scheduler, predictor and
+//! cluster layers the same way `TraceSink` is.
+//!
+//! Three properties are load-bearing:
+//!
+//! - **Deterministic.** A plan is data (no closures), activation windows are
+//!   pure functions of the virtual clock, and the only randomness (message
+//!   drops, prediction jitter) flows from a forked [`SimRng`] — so a faulted
+//!   run digests byte-for-byte identically across repeats.
+//! - **Cheap when off.** Like `TraceSink`, a disabled clock is an `Option`
+//!   that is `None`: every query is one branch, no allocation.
+//! - **Liveness-preserving.** No fault can wedge the event loop: scheduler
+//!   degradation never caps in-flight IOs below one, crashes produce
+//!   explicit (delayed) error replies rather than silence, and every
+//!   activation has a bounded window.
+//!
+//! The crate also hosts the client-side resilience policies the paper only
+//! sketches: a per-replica [`CircuitBreaker`] (open after K consecutive
+//! EBUSY/crash responses, half-open probe after a cooldown) and a bounded
+//! exponential [`BackoffConfig`] for EBUSY storms.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mitt_sim::{Duration, SimRng, SimTime};
+
+pub mod breaker;
+
+pub use breaker::{BackoffConfig, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig};
+
+/// What a fault event does while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node's storage-service process crashes: in-flight requests are
+    /// lost and new requests fail until the window ends (restart).
+    NodeCrash,
+    /// Fail-slow disk: device service times are scaled by `multiplier`,
+    /// ramping linearly from 1.0 over the first `ramp` of the window (the
+    /// gradual degradation mode of real fail-slow hardware).
+    FailSlowDisk {
+        /// Peak service-time multiplier (>= 1.0).
+        multiplier: f64,
+        /// Time to ramp from 1.0 to the peak; `ZERO` = step function.
+        ramp: Duration,
+    },
+    /// SSD channel/chip stall: every flash sub-IO takes `extra` longer
+    /// (models retention-error retries or a stuck channel arbiter).
+    SsdStall {
+        /// Added per-sub-IO latency.
+        extra: Duration,
+    },
+    /// Block-scheduler degradation: the dispatch loop feeds the device at
+    /// most `max_inflight` IOs at a time (clamped to >= 1 for liveness).
+    SchedDegrade {
+        /// In-device IO cap while active.
+        max_inflight: usize,
+    },
+    /// Page-cache thrash: every `period`, `evict_pct`% of resident pages
+    /// are force-evicted (a neighbor's eviction storm).
+    CacheThrash {
+        /// Percent of resident pages evicted per storm tick.
+        evict_pct: u32,
+        /// Interval between storm ticks.
+        period: Duration,
+    },
+    /// Network hop-latency spike: every message to/from the node takes
+    /// `extra` longer.
+    NetDelay {
+        /// Added one-way latency.
+        extra: Duration,
+    },
+    /// Network message drops: each message is lost with probability `prob`
+    /// (the sim turns a drop into a bounded retransmit delay, not silence).
+    NetDrop {
+        /// Per-message drop probability in [0, 1].
+        prob: f64,
+    },
+    /// Predictor miscalibration: every `T_wait` estimate is scaled by
+    /// `scale` and perturbed by uniform jitter in `[0, jitter)` — bias and
+    /// variance injection into the SLO decision.
+    PredictorBias {
+        /// Multiplicative bias on predicted waits (1.0 = none).
+        scale: f64,
+        /// Uniform additive jitter bound per estimate.
+        jitter: Duration,
+    },
+}
+
+impl FaultKind {
+    /// Short label used in trace events and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::FailSlowDisk { .. } => "fail_slow_disk",
+            FaultKind::SsdStall { .. } => "ssd_stall",
+            FaultKind::SchedDegrade { .. } => "sched_degrade",
+            FaultKind::CacheThrash { .. } => "cache_thrash",
+            FaultKind::NetDelay { .. } => "net_delay",
+            FaultKind::NetDrop { .. } => "net_drop",
+            FaultKind::PredictorBias { .. } => "predictor_bias",
+        }
+    }
+}
+
+/// One scheduled fault: a kind, a target, and an activation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Node the fault applies to; `None` = every node (cluster-wide).
+    pub node: Option<usize>,
+    /// Virtual time the fault activates.
+    pub at: SimTime,
+    /// How long it stays active.
+    pub duration: Duration,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Virtual time the fault deactivates.
+    pub fn until(&self) -> SimTime {
+        self.at + self.duration
+    }
+
+    /// True while the fault is active at `now` (half-open window).
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.at <= now && now < self.until()
+    }
+
+    /// True if the fault applies to `node`.
+    pub fn applies_to(&self, node: u32) -> bool {
+        match self.node {
+            None => true,
+            Some(n) => n == node as usize,
+        }
+    }
+}
+
+/// A seed-deterministic schedule of fault events over the virtual clock.
+///
+/// Built with the fluent helpers; the cluster driver walks `events` at
+/// setup to schedule activation/deactivation and hands the plan to a
+/// [`FaultClock`] for continuous queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled faults, in insertion order (activation order is decided
+    /// by `at`, ties by index).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds an arbitrary fault event.
+    pub fn push(mut self, ev: FaultEvent) -> Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Crashes `node`'s storage service for `duration` starting at `at`.
+    pub fn crash(self, node: usize, at: SimTime, duration: Duration) -> Self {
+        self.push(FaultEvent {
+            node: Some(node),
+            at,
+            duration,
+            kind: FaultKind::NodeCrash,
+        })
+    }
+
+    /// Fail-slow disk on `node`: service times ramp to `multiplier`x over
+    /// `ramp`, staying there until the window ends.
+    pub fn fail_slow(
+        self,
+        node: usize,
+        at: SimTime,
+        duration: Duration,
+        multiplier: f64,
+        ramp: Duration,
+    ) -> Self {
+        self.push(FaultEvent {
+            node: Some(node),
+            at,
+            duration,
+            kind: FaultKind::FailSlowDisk { multiplier, ramp },
+        })
+    }
+
+    /// SSD stall on `node`: each flash sub-IO takes `extra` longer.
+    pub fn ssd_stall(self, node: usize, at: SimTime, duration: Duration, extra: Duration) -> Self {
+        self.push(FaultEvent {
+            node: Some(node),
+            at,
+            duration,
+            kind: FaultKind::SsdStall { extra },
+        })
+    }
+
+    /// Scheduler degradation on `node`: at most `max_inflight` IOs in the
+    /// device while active.
+    pub fn sched_degrade(
+        self,
+        node: usize,
+        at: SimTime,
+        duration: Duration,
+        max_inflight: usize,
+    ) -> Self {
+        self.push(FaultEvent {
+            node: Some(node),
+            at,
+            duration,
+            kind: FaultKind::SchedDegrade { max_inflight },
+        })
+    }
+
+    /// Page-cache eviction storms on `node`.
+    pub fn cache_thrash(
+        self,
+        node: usize,
+        at: SimTime,
+        duration: Duration,
+        evict_pct: u32,
+        period: Duration,
+    ) -> Self {
+        self.push(FaultEvent {
+            node: Some(node),
+            at,
+            duration,
+            kind: FaultKind::CacheThrash { evict_pct, period },
+        })
+    }
+
+    /// Network latency spike; `node: None` hits every hop.
+    pub fn net_delay(
+        self,
+        node: Option<usize>,
+        at: SimTime,
+        duration: Duration,
+        extra: Duration,
+    ) -> Self {
+        self.push(FaultEvent {
+            node,
+            at,
+            duration,
+            kind: FaultKind::NetDelay { extra },
+        })
+    }
+
+    /// Network message drops; `node: None` hits every hop.
+    pub fn net_drop(self, node: Option<usize>, at: SimTime, duration: Duration, prob: f64) -> Self {
+        self.push(FaultEvent {
+            node,
+            at,
+            duration,
+            kind: FaultKind::NetDrop { prob },
+        })
+    }
+
+    /// Predictor miscalibration on `node` (`None` = all predictors).
+    pub fn predictor_bias(
+        self,
+        node: Option<usize>,
+        at: SimTime,
+        duration: Duration,
+        scale: f64,
+        jitter: Duration,
+    ) -> Self {
+        self.push(FaultEvent {
+            node,
+            at,
+            duration,
+            kind: FaultKind::PredictorBias { scale, jitter },
+        })
+    }
+}
+
+/// Shared state behind every enabled clock handle.
+#[derive(Debug)]
+struct FaultCore {
+    events: Vec<FaultEvent>,
+    /// Entropy for drop sampling and prediction jitter, forked from the
+    /// experiment's root RNG so faulted runs stay seed-deterministic.
+    rng: SimRng,
+    /// Fault activations so far (bumped by the driver at each start).
+    injected: u64,
+    /// Messages dropped by `NetDrop` sampling.
+    dropped_messages: u64,
+    /// Predictions distorted by `PredictorBias`.
+    distorted_predictions: u64,
+}
+
+/// A cheap, cloneable handle to a fault plan — or a disabled no-op.
+///
+/// Mirrors `TraceSink`: the simulator is single-threaded, so shared state
+/// is `Rc<RefCell<..>>`; a handle is tagged with the node it answers for
+/// ([`FaultClock::for_node`]). Query methods take the virtual `now` and are
+/// `&self` (interior mutability covers the RNG), so predictors can consult
+/// the clock from their existing `&self` estimation paths.
+#[derive(Debug, Clone, Default)]
+pub struct FaultClock {
+    core: Option<Rc<RefCell<FaultCore>>>,
+    node: u32,
+}
+
+impl FaultClock {
+    /// A disabled clock: every query is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        FaultClock::default()
+    }
+
+    /// An enabled clock serving `plan`, with `rng` feeding drop sampling
+    /// and prediction jitter.
+    pub fn new(plan: FaultPlan, rng: SimRng) -> Self {
+        FaultClock {
+            core: Some(Rc::new(RefCell::new(FaultCore {
+                events: plan.events,
+                rng,
+                injected: 0,
+                dropped_messages: 0,
+                distorted_predictions: 0,
+            }))),
+            node: 0,
+        }
+    }
+
+    /// True if a plan is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// A handle to the same plan, answering for `node`.
+    pub fn for_node(&self, node: u32) -> Self {
+        FaultClock {
+            core: self.core.clone(),
+            node,
+        }
+    }
+
+    /// The node tag of this handle.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    fn fold_active<T>(&self, now: SimTime, init: T, mut f: impl FnMut(T, &FaultEvent) -> T) -> T {
+        let Some(core) = &self.core else { return init };
+        let core = core.borrow();
+        let mut acc = init;
+        for ev in &core.events {
+            if ev.active_at(now) && ev.applies_to(self.node) {
+                acc = f(acc, ev);
+            }
+        }
+        acc
+    }
+
+    /// Service-time multiplier for this node's disk at `now` (1.0 when
+    /// healthy). Concurrent fail-slow windows multiply together; within a
+    /// window the multiplier ramps linearly from 1.0 over `ramp`.
+    pub fn disk_service_multiplier(&self, now: SimTime) -> f64 {
+        self.fold_active(now, 1.0, |acc, ev| {
+            if let FaultKind::FailSlowDisk { multiplier, ramp } = ev.kind {
+                let progress = if ramp.is_zero() {
+                    1.0
+                } else {
+                    (now.saturating_since(ev.at).as_nanos() as f64 / ramp.as_nanos() as f64)
+                        .min(1.0)
+                };
+                acc * (1.0 + (multiplier - 1.0) * progress)
+            } else {
+                acc
+            }
+        })
+    }
+
+    /// Extra latency added to each flash sub-IO on this node at `now`.
+    pub fn ssd_stall(&self, now: SimTime) -> Duration {
+        self.fold_active(now, Duration::ZERO, |acc, ev| {
+            if let FaultKind::SsdStall { extra } = ev.kind {
+                acc + extra
+            } else {
+                acc
+            }
+        })
+    }
+
+    /// In-device IO cap for this node's scheduler at `now`; `None` when
+    /// undegraded. Clamped to >= 1 so dispatch always makes progress.
+    pub fn sched_max_inflight(&self, now: SimTime) -> Option<usize> {
+        self.fold_active(now, None, |acc: Option<usize>, ev| {
+            if let FaultKind::SchedDegrade { max_inflight } = ev.kind {
+                let cap = max_inflight.max(1);
+                Some(acc.map_or(cap, |c| c.min(cap)))
+            } else {
+                acc
+            }
+        })
+    }
+
+    /// Extra one-way network latency for messages to/from this node at
+    /// `now`.
+    pub fn net_extra(&self, now: SimTime) -> Duration {
+        self.fold_active(now, Duration::ZERO, |acc, ev| {
+            if let FaultKind::NetDelay { extra } = ev.kind {
+                acc + extra
+            } else {
+                acc
+            }
+        })
+    }
+
+    /// Samples whether a message to/from this node is dropped at `now`.
+    /// Consumes randomness only while a `NetDrop` window is active, so a
+    /// planless or drop-free run's RNG streams are untouched.
+    pub fn drop_message(&self, now: SimTime) -> bool {
+        let Some(core) = &self.core else { return false };
+        let mut core = core.borrow_mut();
+        let mut prob: f64 = 0.0;
+        for ev in &core.events {
+            if let FaultKind::NetDrop { prob: p } = ev.kind {
+                if ev.active_at(now) && ev.applies_to(self.node) {
+                    prob = prob.max(p);
+                }
+            }
+        }
+        if prob <= 0.0 {
+            return false;
+        }
+        let dropped = core.rng.chance(prob);
+        if dropped {
+            core.dropped_messages += 1;
+        }
+        dropped
+    }
+
+    /// Distorts a predicted wait per any active `PredictorBias`: scales by
+    /// the bias and adds uniform jitter in `[0, jitter)`. Identity (and
+    /// RNG-silent) when no bias window is active.
+    pub fn distort_wait(&self, now: SimTime, wait: Duration) -> Duration {
+        let Some(core) = &self.core else { return wait };
+        let mut core = core.borrow_mut();
+        let mut scale: f64 = 1.0;
+        let mut jitter = Duration::ZERO;
+        let mut active = false;
+        for ev in &core.events {
+            if let FaultKind::PredictorBias {
+                scale: s,
+                jitter: j,
+            } = ev.kind
+            {
+                if ev.active_at(now) && ev.applies_to(self.node) {
+                    active = true;
+                    scale *= s;
+                    jitter = jitter + j;
+                }
+            }
+        }
+        if !active {
+            return wait;
+        }
+        core.distorted_predictions += 1;
+        let mut out = wait.mul_f64(scale.max(0.0));
+        if !jitter.is_zero() {
+            out = out + Duration::from_nanos(core.rng.range_u64(0, jitter.as_nanos()));
+        }
+        out
+    }
+
+    /// True while this node's storage service is crashed at `now`.
+    pub fn crashed(&self, now: SimTime) -> bool {
+        self.fold_active(now, false, |acc, ev| {
+            acc || matches!(ev.kind, FaultKind::NodeCrash)
+        })
+    }
+
+    /// Records one fault activation (called by the driver at each
+    /// `FaultStart`).
+    pub fn record_injection(&self) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().injected += 1;
+        }
+    }
+
+    /// Fault activations recorded so far.
+    pub fn injected(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().injected)
+    }
+
+    /// Messages dropped by `NetDrop` sampling so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.borrow().dropped_messages)
+    }
+
+    /// Predictions distorted by `PredictorBias` so far.
+    pub fn distorted_predictions(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.borrow().distorted_predictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn clock(plan: FaultPlan) -> FaultClock {
+        FaultClock::new(plan, SimRng::new(7))
+    }
+
+    #[test]
+    fn disabled_clock_is_identity() {
+        let c = FaultClock::disabled();
+        assert!(!c.is_enabled());
+        assert_eq!(c.disk_service_multiplier(at(5)), 1.0);
+        assert_eq!(c.ssd_stall(at(5)), Duration::ZERO);
+        assert_eq!(c.sched_max_inflight(at(5)), None);
+        assert_eq!(c.net_extra(at(5)), Duration::ZERO);
+        assert!(!c.drop_message(at(5)));
+        assert_eq!(c.distort_wait(at(5), ms(3)), ms(3));
+        assert!(!c.crashed(at(5)));
+        assert_eq!(c.injected(), 0);
+    }
+
+    #[test]
+    fn windows_are_half_open_and_node_scoped() {
+        let c = clock(FaultPlan::new().crash(1, at(10), ms(10)));
+        let n0 = c.for_node(0);
+        let n1 = c.for_node(1);
+        assert!(!n1.crashed(at(9)));
+        assert!(n1.crashed(at(10)));
+        assert!(n1.crashed(at(19)));
+        assert!(!n1.crashed(at(20)), "end is exclusive");
+        assert!(!n0.crashed(at(15)), "other nodes stay up");
+    }
+
+    #[test]
+    fn fail_slow_ramps_linearly_then_holds() {
+        let c = clock(FaultPlan::new().fail_slow(0, at(0), ms(100), 5.0, ms(40))).for_node(0);
+        assert_eq!(c.disk_service_multiplier(at(0)), 1.0);
+        let mid = c.disk_service_multiplier(at(20));
+        assert!((mid - 3.0).abs() < 1e-9, "half-ramp = 3.0, got {mid}");
+        assert_eq!(c.disk_service_multiplier(at(40)), 5.0);
+        assert_eq!(c.disk_service_multiplier(at(99)), 5.0);
+        assert_eq!(c.disk_service_multiplier(at(100)), 1.0);
+    }
+
+    #[test]
+    fn step_fail_slow_has_no_ramp() {
+        let c =
+            clock(FaultPlan::new().fail_slow(0, at(10), ms(10), 4.0, Duration::ZERO)).for_node(0);
+        assert_eq!(c.disk_service_multiplier(at(10)), 4.0);
+    }
+
+    #[test]
+    fn overlapping_fail_slow_windows_multiply() {
+        let plan = FaultPlan::new()
+            .fail_slow(0, at(0), ms(100), 2.0, Duration::ZERO)
+            .fail_slow(0, at(0), ms(100), 3.0, Duration::ZERO);
+        let c = clock(plan).for_node(0);
+        assert_eq!(c.disk_service_multiplier(at(50)), 6.0);
+    }
+
+    #[test]
+    fn sched_degrade_caps_but_never_below_one() {
+        let c = clock(FaultPlan::new().sched_degrade(0, at(0), ms(10), 0)).for_node(0);
+        assert_eq!(c.sched_max_inflight(at(5)), Some(1), "clamped for liveness");
+        assert_eq!(c.sched_max_inflight(at(15)), None);
+    }
+
+    #[test]
+    fn cluster_wide_net_faults_hit_every_node() {
+        let c = clock(FaultPlan::new().net_delay(None, at(0), ms(10), ms(2)));
+        assert_eq!(c.for_node(0).net_extra(at(5)), ms(2));
+        assert_eq!(c.for_node(7).net_extra(at(5)), ms(2));
+        assert_eq!(c.for_node(7).net_extra(at(15)), Duration::ZERO);
+    }
+
+    #[test]
+    fn drop_sampling_is_seed_deterministic_and_counted() {
+        let sample = |seed| {
+            let c = FaultClock::new(
+                FaultPlan::new().net_drop(None, at(0), ms(10), 0.5),
+                SimRng::new(seed),
+            );
+            let hits: Vec<bool> = (0..32).map(|_| c.drop_message(at(5))).collect();
+            (hits, c.dropped_messages())
+        };
+        let (a, na) = sample(3);
+        let (b, nb) = sample(3);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na > 0, "p=0.5 over 32 samples must drop something");
+        let c = clock(FaultPlan::new().net_drop(None, at(0), ms(10), 0.5));
+        assert!(!c.drop_message(at(15)), "inactive window never drops");
+    }
+
+    #[test]
+    fn predictor_bias_scales_and_jitters_within_bounds() {
+        let c = clock(FaultPlan::new().predictor_bias(None, at(0), ms(10), 2.0, ms(1)));
+        for _ in 0..16 {
+            let w = c.distort_wait(at(5), ms(4));
+            assert!(w >= ms(8) && w < ms(9), "2x + [0,1ms) jitter, got {w}");
+        }
+        assert_eq!(c.distorted_predictions(), 16);
+        assert_eq!(c.distort_wait(at(15), ms(4)), ms(4), "inactive = identity");
+    }
+
+    #[test]
+    fn injection_counter_is_shared_across_handles() {
+        let c = clock(FaultPlan::new().crash(0, at(0), ms(1)));
+        c.for_node(3).record_injection();
+        c.record_injection();
+        assert_eq!(c.for_node(1).injected(), 2);
+    }
+}

@@ -17,6 +17,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use mitt_device::{BlockIo, Disk, FinishedIo, IoClass, IoId, NoInflight, ProcessId};
+use mitt_faults::FaultClock;
 use mitt_sim::SimTime;
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -87,6 +88,7 @@ pub struct Cfq {
     index: HashMap<IoId, (usize, ProcessId, u64)>,
     in_device: usize,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl Cfq {
@@ -98,6 +100,7 @@ impl Cfq {
             index: HashMap::new(),
             in_device: 0,
             trace: TraceSink::disabled(),
+            faults: FaultClock::disabled(),
         }
     }
 
@@ -145,7 +148,11 @@ impl Cfq {
 
     fn dispatch(&mut self, disk: &mut Disk, now: SimTime) -> DispatchOut {
         let mut out = DispatchOut::default();
-        while disk.has_room() && self.in_device < self.cfg.max_device_ios {
+        let limit = match self.faults.sched_max_inflight(now) {
+            Some(cap) => self.cfg.max_device_ios.min(cap),
+            None => self.cfg.max_device_ios,
+        };
+        while disk.has_room() && self.in_device < limit {
             let Some(io) = self.pick() else {
                 break;
             };
@@ -253,6 +260,10 @@ impl DiskScheduler for Cfq {
 
     fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
     }
 }
 

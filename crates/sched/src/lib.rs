@@ -34,6 +34,7 @@
 //! ```
 
 use mitt_device::{BlockIo, Disk, FinishedIo, IoId, NoInflight, Started};
+use mitt_faults::FaultClock;
 use mitt_sim::SimTime;
 use mitt_trace::TraceSink;
 
@@ -91,4 +92,10 @@ pub trait DiskScheduler {
     /// Attaches a trace sink; schedulers emit queued-span and queue-depth
     /// telemetry through it. The default implementation ignores it.
     fn set_trace(&mut self, _sink: TraceSink) {}
+
+    /// Attaches a fault clock; `SchedDegrade` windows cap how many IOs the
+    /// dispatch loop keeps in the device (never below one, so completions
+    /// always re-trigger dispatch and the queue keeps draining). The
+    /// default implementation ignores it.
+    fn set_faults(&mut self, _clock: FaultClock) {}
 }

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use mitt_device::{BlockIo, Disk, FinishedIo, IoId, NoInflight};
+use mitt_faults::FaultClock;
 use mitt_sim::SimTime;
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -17,6 +18,7 @@ pub(crate) const QUEUED_SPAN: &str = "sched_q";
 pub struct Noop {
     fifo: VecDeque<BlockIo>,
     trace: TraceSink,
+    faults: FaultClock,
 }
 
 impl Noop {
@@ -25,10 +27,12 @@ impl Noop {
         Self::default()
     }
 
-    /// Moves queued IOs into the device while it has room.
+    /// Moves queued IOs into the device while it has room (capped by any
+    /// active scheduler-degradation fault).
     fn dispatch(&mut self, disk: &mut Disk, now: SimTime) -> DispatchOut {
         let mut out = DispatchOut::default();
-        while disk.has_room() {
+        let cap = self.faults.sched_max_inflight(now);
+        while disk.has_room() && cap.map_or(true, |c| disk.occupancy() < c) {
             let Some(io) = self.fifo.pop_front() else {
                 break;
             };
@@ -100,6 +104,10 @@ impl DiskScheduler for Noop {
     fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
     }
+
+    fn set_faults(&mut self, clock: FaultClock) {
+        self.faults = clock;
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +169,37 @@ mod tests {
         assert!(sched.cancel(IoId(0)).is_none());
         assert!(sched.cancel(IoId(1)).is_none());
         assert_eq!(sched.cancel(IoId(2)).map(|io| io.id), Some(IoId(2)));
+    }
+
+    #[test]
+    fn degrade_window_caps_device_occupancy_but_still_drains() {
+        use mitt_faults::{FaultClock, FaultPlan};
+        use mitt_sim::Duration;
+        let mut sched = Noop::new();
+        let mut disk = small_disk();
+        // Degrade to 1 in-device IO for the first second.
+        let plan = FaultPlan::new().sched_degrade(0, SimTime::ZERO, Duration::from_secs(1), 1);
+        sched.set_faults(FaultClock::new(plan, SimRng::new(4)).for_node(0));
+        let mut g = IoIdGen::new();
+        let mut next_tick = None;
+        for i in 0..4u64 {
+            if let Some(s) = sched
+                .enqueue(rd(&mut g, i * 1000), &mut disk, SimTime::ZERO)
+                .started
+            {
+                next_tick = Some(s.done_at);
+            }
+        }
+        assert_eq!(disk.occupancy(), 1, "degraded dispatch holds IOs back");
+        assert_eq!(sched.queued(), 3);
+        let mut done = 0;
+        while let Some(t) = next_tick {
+            let (_, out) = sched.on_complete(&mut disk, t).unwrap();
+            done += 1;
+            next_tick = out.started.map(|s| s.done_at);
+        }
+        assert_eq!(done, 4, "completions keep draining the capped queue");
+        assert!(disk.is_idle());
     }
 
     #[test]

@@ -87,6 +87,9 @@ fn push_event(out: &mut String, ev: &TraceEvent) {
         EventKind::Mark { value, .. } => {
             let _ = write!(out, "\"value\":{value}");
         }
+        EventKind::FaultStart { fault, name } | EventKind::FaultEnd { fault, name } => {
+            let _ = write!(out, "\"fault\":{fault},\"kind\":\"{name}\"");
+        }
     }
     out.push_str("}}");
 }

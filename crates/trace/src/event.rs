@@ -199,6 +199,20 @@ pub enum EventKind {
         /// Free-form numeric payload.
         value: u64,
     },
+    /// A planned fault activated (see `mitt-faults`).
+    FaultStart {
+        /// Index of the fault in the experiment's `FaultPlan`.
+        fault: u64,
+        /// Fault-kind label (`node_crash`, `fail_slow_disk`, ...).
+        name: &'static str,
+    },
+    /// A planned fault deactivated.
+    FaultEnd {
+        /// Index of the fault in the experiment's `FaultPlan`.
+        fault: u64,
+        /// Fault-kind label; matches the start event.
+        name: &'static str,
+    },
 }
 
 impl EventKind {
@@ -216,6 +230,8 @@ impl EventKind {
             EventKind::SpanBegin { name, .. } => name,
             EventKind::SpanEnd { name, .. } => name,
             EventKind::Mark { name, .. } => name,
+            EventKind::FaultStart { .. } => "fault_start",
+            EventKind::FaultEnd { .. } => "fault_end",
         }
     }
 
@@ -289,6 +305,16 @@ impl EventKind {
                 h.write_u64(10);
                 h.write_str(name);
                 h.write_u64(value);
+            }
+            EventKind::FaultStart { fault, name } => {
+                h.write_u64(11);
+                h.write_u64(fault);
+                h.write_str(name);
+            }
+            EventKind::FaultEnd { fault, name } => {
+                h.write_u64(12);
+                h.write_u64(fault);
+                h.write_str(name);
             }
         }
     }

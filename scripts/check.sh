@@ -34,7 +34,8 @@ cargo test -q -p mitt-trace
 
 echo "== trace_run smoke (Chrome trace export)"
 trace_out="$(mktemp /tmp/trace_run.XXXXXX.json)"
-trap 'rm -f "$trace_out"' EXIT
+faults_out=""
+trap 'rm -f "$trace_out" "$faults_out"' EXIT
 cargo run --quiet --release --example trace_run -- "$trace_out" >/dev/null
 if command -v jq >/dev/null 2>&1; then
     jq -e '.traceEvents | length > 0' "$trace_out" >/dev/null
@@ -43,5 +44,18 @@ else
     python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents']" "$trace_out"
 fi
 echo "   exported trace is well-formed JSON with events"
+
+echo "== fig_faults smoke (fault injection)"
+# A short faulted sweep: must complete without panics and actually inject.
+# 150 ops x ~7ms spans the 500ms-onward fault windows; fewer ops would end
+# the run before the first fault fires.
+faults_out="$(mktemp /tmp/fig_faults.XXXXXX.txt)"
+MITT_OPS=150 cargo run --quiet --release -p mitt-bench --bin fig_faults >"$faults_out"
+injected="$(sed -n 's/^injected_faults=//p' "$faults_out")"
+if [ -z "$injected" ] || [ "$injected" -eq 0 ]; then
+    echo "fig_faults injected no faults (got: '${injected:-missing}')" >&2
+    exit 1
+fi
+echo "   injected $injected faults, zero panics"
 
 echo "ok: all checks passed"

@@ -16,9 +16,10 @@ use mittos_repro::cluster::{
     NoiseKind, NoiseStream, Strategy,
 };
 use mittos_repro::device::IoClass;
+use mittos_repro::faults::{FaultPlan, ResilienceConfig};
 use mittos_repro::lsm::LsmConfig;
 use mittos_repro::sim::digest::{double_run, Fnv1a};
-use mittos_repro::sim::Duration;
+use mittos_repro::sim::{Duration, SimTime};
 use mittos_repro::workload::rotating_schedule;
 
 /// A contended three-replica cluster, small enough for a debug-build test.
@@ -92,9 +93,16 @@ fn fold_result(h: &mut Fnv1a, res: &ExperimentResult) {
     h.write_u64(res.retries);
     h.write_u64(res.errors);
     h.write_u64(res.stale_reads);
+    h.write_u64(res.injected_faults);
+    h.write_u64(res.dropped_messages);
+    h.write_u64(res.distorted_predictions);
+    h.write_u64(res.breaker_opens);
+    h.write_u64(res.backoff_retries);
     h.write_u64(res.finished_at.as_nanos());
     h.write_u64_slice(res.user_latencies.samples());
     h.write_u64_slice(res.get_latencies.samples());
+    let completions: Vec<u64> = res.completion_times.iter().map(|t| t.as_nanos()).collect();
+    h.write_u64_slice(&completions);
     res.trace.fold_digest(h);
     h.write_str(&res.trace.export_chrome_json());
 }
@@ -163,6 +171,112 @@ fn exported_trace_is_byte_identical_across_runs() {
     );
     assert_eq!(json_a, json_b, "exported Chrome traces differ between runs");
     assert_eq!(report_a, report_b, "run reports differ between runs");
+}
+
+/// The `config` cluster under a composite fault plan exercising every
+/// injection path that consumes entropy or reorders events: a crash (orphan
+/// sweep + delayed `Crashed` replies), a fail-slow ramp, periodic cache
+/// thrash, cluster-wide network spikes, message drops (RNG-consuming), and
+/// predictor miscalibration (RNG-consuming) — with the resilience policies
+/// on so breaker/backoff state is covered too.
+fn faulted_config(seed: u64) -> ExperimentConfig {
+    let at = |ms: u64| SimTime::ZERO + Duration::from_millis(ms);
+    let mut cfg = config(
+        seed,
+        Strategy::MittOs {
+            deadline: Duration::from_millis(15),
+        },
+    );
+    cfg.faults = FaultPlan::new()
+        .crash(0, at(300), Duration::from_millis(400))
+        .fail_slow(
+            1,
+            at(800),
+            Duration::from_millis(500),
+            3.0,
+            Duration::from_millis(100),
+        )
+        .cache_thrash(
+            2,
+            at(600),
+            Duration::from_millis(400),
+            30,
+            Duration::from_millis(50),
+        )
+        .net_delay(
+            None,
+            at(200),
+            Duration::from_millis(600),
+            Duration::from_micros(200),
+        )
+        .net_drop(None, at(400), Duration::from_millis(600), 0.05)
+        .predictor_bias(
+            None,
+            at(500),
+            Duration::from_millis(700),
+            1.3,
+            Duration::from_micros(200),
+        );
+    cfg.resilience = Some(ResilienceConfig::default());
+    cfg
+}
+
+#[test]
+fn faulted_run_same_seed_same_digest() {
+    // Same seed + same FaultPlan => identical digest. Fault injection must
+    // be part of the deterministic schedule, not a side channel.
+    let (first, second) = double_run(|h| {
+        let res = run_experiment(faulted_config(26));
+        assert!(res.injected_faults > 0, "the plan must actually fire");
+        fold_result(h, &res);
+    });
+    assert_eq!(
+        first, second,
+        "faulted runs from seed 26 diverged: {first:#018x} vs {second:#018x}"
+    );
+}
+
+#[test]
+fn faulted_trace_is_byte_identical_and_marks_faults() {
+    let run = || {
+        let res = run_experiment(faulted_config(27));
+        (res.trace.export_chrome_json(), res.trace.report_text())
+    };
+    let (json_a, report_a) = run();
+    let (json_b, report_b) = run();
+    assert!(
+        json_a.contains("fault_start") && json_a.contains("fault_end"),
+        "fault activations must appear in the exported trace"
+    );
+    assert_eq!(json_a, json_b, "faulted Chrome traces differ between runs");
+    assert_eq!(
+        report_a, report_b,
+        "faulted run reports differ between runs"
+    );
+}
+
+#[test]
+fn empty_fault_plan_leaves_the_run_untouched() {
+    // A default (empty) FaultPlan must not perturb RNG forking or event
+    // order: the digest with `faults = FaultPlan::default()` explicitly set
+    // must equal the digest of a config that never mentions faults.
+    let strategy = Strategy::MittOs {
+        deadline: Duration::from_millis(15),
+    };
+    let digest_of = |cfg: ExperimentConfig| {
+        let mut h = Fnv1a::new();
+        let res = run_experiment(cfg);
+        fold_result(&mut h, &res);
+        h.finish()
+    };
+    let plain = digest_of(config(28, strategy.clone()));
+    let mut with_empty_plan = config(28, strategy);
+    with_empty_plan.faults = FaultPlan::default();
+    assert_eq!(
+        plain,
+        digest_of(with_empty_plan),
+        "an empty fault plan changed the run"
+    );
 }
 
 #[test]

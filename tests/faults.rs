@@ -1,0 +1,229 @@
+//! Integration tests for the fault-injection layer and the client-side
+//! resilience policies (per-replica circuit breaker + bounded EBUSY
+//! backoff).
+//!
+//! The scenarios mirror §2's motivating failures: a replica that goes
+//! dark (crash), a replica that fails *slow* (the hardest case for
+//! timeout-based tail tolerance), and an overload storm where every
+//! replica rejects. Each test also doubles as a liveness check — the
+//! cluster driver panics if its event queue drains with ops incomplete,
+//! so merely returning proves no fault path strands a request.
+
+use mittos_repro::cluster::{
+    run_experiment, ExperimentConfig, ExperimentResult, NodeConfig, Strategy, CRASH_REPLY_DELAY,
+};
+use mittos_repro::faults::{BackoffConfig, BreakerConfig, FaultPlan, ResilienceConfig};
+use mittos_repro::sim::{Duration, SimTime};
+
+fn at(ms: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_millis(ms)
+}
+
+/// A paced 3-node micro cluster whose every first try lands on node 0 —
+/// the node the plans below break.
+fn crash_cfg(strategy: Strategy, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), strategy);
+    cfg.seed = seed;
+    cfg.ops_per_client = 300;
+    cfg.think_time = Duration::from_millis(2);
+    cfg
+}
+
+fn p95(res: &mut ExperimentResult) -> Duration {
+    res.get_latencies.percentile(95.0)
+}
+
+#[test]
+fn crash_failover_completes_every_op_without_errors() {
+    // One of three replicas is down for a long window; with replication 3
+    // every strategy must route around it and finish all ops error-free.
+    for strategy in [
+        Strategy::Base,
+        Strategy::Clone2,
+        Strategy::MittOs {
+            deadline: Duration::from_millis(20),
+        },
+    ] {
+        let mut cfg = crash_cfg(strategy.clone(), 41);
+        cfg.ops_per_client = 120;
+        cfg.faults = FaultPlan::new().crash(0, at(100), Duration::from_secs(3));
+        let res = run_experiment(cfg);
+        assert_eq!(res.ops, 120, "{}: ops lost to the crash", strategy.name());
+        assert_eq!(
+            res.errors,
+            0,
+            "{}: crash surfaced as errors",
+            strategy.name()
+        );
+        assert!(res.injected_faults >= 1, "the crash never fired");
+    }
+}
+
+#[test]
+fn breaker_bounds_mittos_p95_under_crash_while_base_degrades() {
+    // The PR's acceptance scenario. Node 0 — every op's first try — is
+    // dark for 8 s. Base pays the 250 ms failure-detection timeout on
+    // every first try for the whole window, dragging p95 past the
+    // detection delay. MittOS with the circuit breaker pays it three
+    // times, opens node 0's breaker, and routes first tries to healthy
+    // replicas; only the occasional half-open probe pays again.
+    let plan = || FaultPlan::new().crash(0, at(200), Duration::from_secs(8));
+
+    let mut base_cfg = crash_cfg(Strategy::Base, 42);
+    base_cfg.faults = plan();
+    let mut base = run_experiment(base_cfg);
+
+    let mut mitt_cfg = crash_cfg(
+        Strategy::MittOs {
+            deadline: Duration::from_millis(20),
+        },
+        42,
+    );
+    mitt_cfg.faults = plan();
+    mitt_cfg.resilience = Some(ResilienceConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            // A long cooldown keeps half-open probes (each paying the
+            // 250 ms detection delay) rare within the outage.
+            cooldown: Duration::from_secs(2),
+        },
+        backoff: BackoffConfig::default(),
+    });
+    let mut mitt = run_experiment(mitt_cfg);
+
+    assert_eq!(base.ops, 300);
+    assert_eq!(mitt.ops, 300);
+    assert_eq!(mitt.errors, 0);
+    assert!(
+        mitt.breaker_opens >= 1,
+        "the breaker never opened: opens={}",
+        mitt.breaker_opens
+    );
+    assert!(
+        p95(&mut base) >= CRASH_REPLY_DELAY,
+        "Base p95 {:?} should absorb the {:?} detection delay",
+        p95(&mut base),
+        CRASH_REPLY_DELAY
+    );
+    assert!(
+        p95(&mut mitt) < CRASH_REPLY_DELAY,
+        "MittOS+breaker p95 {:?} should stay under the {:?} detection delay",
+        p95(&mut mitt),
+        CRASH_REPLY_DELAY
+    );
+    assert!(
+        p95(&mut mitt) < p95(&mut base),
+        "MittOS+breaker p95 {:?} not better than Base {:?}",
+        p95(&mut mitt),
+        p95(&mut base)
+    );
+}
+
+#[test]
+fn fail_slow_replica_trips_the_breaker() {
+    // Node 0 fails slow (20x service time) rather than dark. Concurrent
+    // clients pile IOs onto it until predicted waits blow the deadline,
+    // producing a consecutive-EBUSY streak that opens the breaker — the
+    // fail-slow *detection* the paper's fast-reject interface enables.
+    let mut cfg = ExperimentConfig::micro(
+        NodeConfig::disk_cfq(),
+        Strategy::MittOs {
+            deadline: Duration::from_millis(2),
+        },
+    );
+    cfg.seed = 43;
+    cfg.clients = 6;
+    cfg.ops_per_client = 80;
+    cfg.faults = FaultPlan::new().fail_slow(
+        0,
+        at(50),
+        Duration::from_secs(5),
+        20.0,
+        Duration::from_millis(50),
+    );
+    cfg.resilience = Some(ResilienceConfig::default());
+    let res = run_experiment(cfg);
+    assert_eq!(res.ops, 6 * 80);
+    assert!(res.ebusy > 0, "the slow node never rejected");
+    assert!(
+        res.breaker_opens >= 1,
+        "fail-slow went undetected: ebusy={} opens={}",
+        res.ebusy,
+        res.breaker_opens
+    );
+}
+
+#[test]
+fn ebusy_storm_backoff_is_taken_and_bounded() {
+    // Every replica fails slow at once, so whole rounds reject and the
+    // client must sit out. The backoff policy bounds both the per-round
+    // delay and the number of rounds; the final round's last try drops
+    // the deadline, so every op still completes.
+    let mut cfg = ExperimentConfig::micro(
+        NodeConfig::disk_cfq(),
+        Strategy::MittOs {
+            deadline: Duration::from_millis(2),
+        },
+    );
+    cfg.seed = 44;
+    cfg.clients = 6;
+    cfg.ops_per_client = 50;
+    let mut plan = FaultPlan::new();
+    for node in 0..3 {
+        plan = plan.fail_slow(
+            node,
+            at(20),
+            Duration::from_secs(30),
+            20.0,
+            Duration::from_millis(20),
+        );
+    }
+    cfg.faults = plan;
+    let backoff = BackoffConfig::default();
+    cfg.resilience = Some(ResilienceConfig {
+        breaker: BreakerConfig::default(),
+        backoff,
+    });
+    let res = run_experiment(cfg);
+    let total_ops = (6 * 50) as u64;
+    assert_eq!(res.ops, total_ops);
+    assert!(res.backoff_retries > 0, "the storm never triggered backoff");
+    assert!(
+        res.backoff_retries <= total_ops * u64::from(backoff.max_rounds),
+        "backoff rounds unbounded: {} retries for {} ops",
+        res.backoff_retries,
+        total_ops
+    );
+}
+
+#[test]
+fn drop_and_bias_faults_are_counted_and_harmless() {
+    // Message drops are retransmitted (never stranded) and predictor
+    // miscalibration only distorts hints — both must leave completion
+    // intact while their injection counters prove they fired.
+    let mut cfg = ExperimentConfig::micro(
+        NodeConfig::disk_cfq(),
+        Strategy::MittOs {
+            deadline: Duration::from_millis(20),
+        },
+    );
+    cfg.seed = 45;
+    cfg.ops_per_client = 200;
+    cfg.faults = FaultPlan::new()
+        .net_drop(None, at(0), Duration::from_secs(60), 0.2)
+        .predictor_bias(
+            None,
+            at(0),
+            Duration::from_secs(60),
+            2.0,
+            Duration::from_millis(1),
+        );
+    let res = run_experiment(cfg);
+    assert_eq!(res.ops, 200);
+    assert_eq!(res.errors, 0);
+    assert!(res.dropped_messages > 0, "drop fault never sampled a drop");
+    assert!(
+        res.distorted_predictions > 0,
+        "bias fault never distorted a prediction"
+    );
+}
