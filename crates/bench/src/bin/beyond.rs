@@ -141,7 +141,7 @@ fn gc_experiment(n: usize, mittos: bool, seed: u64) -> LatencyRecorder {
 
 fn main() {
     if mitt_bench::trace_flag().is_on() {
-        eprintln!("note: this binary runs no cluster experiment; --trace is ignored");
+        mitt_bench::progress!("note: this binary runs no cluster experiment; --trace is ignored");
     }
     let n = ops();
     println!("# Beyond the storage stack (§8.2): the reject-past-deadline check applied");

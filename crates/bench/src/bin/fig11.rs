@@ -59,9 +59,11 @@ fn main() {
     // The §7.8.1 fix: return the predicted wait with EBUSY so the final
     // retry goes to the least-busy replica.
     let mitt_wait = trace_flag().run(cfg_for(Strategy::MittOsWait { deadline: p95 }, ops, seed));
-    eprintln!(
+    mitt_bench::progress!(
         "MittCFQ: ebusy={} retries={} errors={}",
-        mitt.ebusy, mitt.retries, mitt.errors
+        mitt.ebusy,
+        mitt.retries,
+        mitt.errors
     );
     let mut mitt = mitt.get_latencies;
     let mut hedged = hedged.get_latencies;

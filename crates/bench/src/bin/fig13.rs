@@ -46,7 +46,7 @@ fn main() {
 
     let mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
     let watch = mitt.watch.as_ref().expect("watch node configured");
-    eprintln!(
+    mitt_bench::progress!(
         "MittCFQ: ebusy={} retries={} node0_ebusy={}",
         mitt.ebusy,
         mitt.retries,

@@ -33,9 +33,12 @@ fn main() {
     for s in strategies {
         let name = s.name();
         let res = trace_flag().run(fig5_config(s, ops, seed));
-        eprintln!(
+        mitt_bench::progress!(
             "ran {name}: ops={} ebusy={} retries={} errors={}",
-            res.ops, res.ebusy, res.retries, res.errors
+            res.ops,
+            res.ebusy,
+            res.retries,
+            res.errors
         );
         series.push((name, res.get_latencies));
     }

@@ -1,22 +1,99 @@
 //! Figure 9: prediction inaccuracy of MittCFQ and MittSSD over five
 //! production-trace classes, replayed single-node in audit mode with the
 //! p95 wait as the deadline.
+//!
+//! Observability hooks (`mitt-obs`):
+//!
+//! - `--bench-json BENCH_fig9.json` writes a machine-readable report:
+//!   per-trace and aggregate calibration rows plus a small deterministic
+//!   cluster microbenchmark (Base + MittOS) for the latency columns;
+//! - `--baseline <file>` compares against a committed baseline and exits
+//!   1 on regression (`--latency-threshold-pct`/`--calibration-threshold-pp`
+//!   tune the gate);
+//! - `--degrade` injects a whole-run `PredictorBias` fault into both the
+//!   replays and the cluster runs, for exercising the gate;
+//! - `--trace out.json` exports the first audited replay as Chrome JSON
+//!   with per-predictor calibration counter tracks.
 
-use mitt_bench::{classify, p95_wait, replay_audit_with_ablation};
-use mitt_cluster::{Medium, NodeConfig};
-use mitt_sim::{Duration, SimRng};
+use mitt_bench::{bench_json, progress, trace_flag};
+use mitt_cluster::{ExperimentConfig, Medium, NodeConfig, Strategy};
+use mitt_faults::FaultPlan;
+use mitt_obs::calibration::{chrome_export_with_counters, CalibrationConfig};
+use mitt_obs::replay::{classify, p95_wait, replay_audit_traced, AuditStats, REPLAY_RING};
+use mitt_obs::{BenchReport, CalibrationRow, StrategyRow};
+use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_workload::TraceSpec;
 
-fn main() {
-    if mitt_bench::trace_flag().is_on() {
-        eprintln!("note: this binary runs no cluster experiment; --trace is ignored");
+/// A whole-run `PredictorBias` window (scale 8x, 4 ms jitter) for
+/// `--degrade`; the window outlives any replay or micro run.
+fn degrade_plan() -> FaultPlan {
+    FaultPlan::new().predictor_bias(
+        None,
+        SimTime::ZERO,
+        Duration::from_secs(100_000),
+        8.0,
+        Duration::from_millis(4),
+    )
+}
+
+fn plan(degrade: bool) -> FaultPlan {
+    if degrade {
+        degrade_plan()
+    } else {
+        FaultPlan::new()
     }
-    let horizon = Duration::from_secs(
-        std::env::var("MITT_OPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(120),
-    );
+}
+
+/// Aggregate Figure 9 counts for one predictor across the five traces.
+#[derive(Default)]
+struct Agg {
+    total: u64,
+    fp: u64,
+    fneg: u64,
+    err_weight: u64,
+    err_sum_ms: f64,
+    err_max_ms: f64,
+}
+
+impl Agg {
+    fn add(&mut self, s: &AuditStats) {
+        self.total += s.total as u64;
+        self.fp += s.fp_count as u64;
+        self.fneg += s.fn_count as u64;
+        let misclassified = (s.fp_count + s.fn_count) as u64;
+        self.err_weight += misclassified;
+        self.err_sum_ms += s.mean_diff_ms * misclassified as f64;
+        self.err_max_ms = self.err_max_ms.max(s.max_diff_ms);
+    }
+
+    fn row(&self, predictor: &str) -> CalibrationRow {
+        let total = self.total.max(1) as f64;
+        CalibrationRow {
+            predictor: predictor.to_string(),
+            total: self.total,
+            fp_pct: 100.0 * self.fp as f64 / total,
+            fn_pct: 100.0 * self.fneg as f64 / total,
+            inaccuracy_pct: 100.0 * (self.fp + self.fneg) as f64 / total,
+            mean_err_ms: if self.err_weight == 0 {
+                0.0
+            } else {
+                self.err_sum_ms / self.err_weight as f64
+            },
+            max_err_ms: self.err_max_ms,
+        }
+    }
+}
+
+fn main() {
+    let horizon_secs: u64 = std::env::var("MITT_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let horizon = Duration::from_secs(horizon_secs);
+    let degrade = bench_json().degrade();
+    if degrade {
+        progress::note("--degrade: whole-run PredictorBias fault active");
+    }
     println!("# Fig 9: prediction inaccuracy (audit mode, p95 deadline, {horizon} of trace)");
     println!("# 'naive' columns = the ablation of §7.6: no seek model, no calibration,");
     println!("# block-level SSD accounting.");
@@ -32,25 +109,54 @@ fn main() {
         "diff ms",
         "naive F%"
     );
+    let mut report = BenchReport::new("fig9", 91, horizon_secs);
+    let mut agg_cfq = Agg::default();
+    let mut agg_ssd = Agg::default();
+    // The first audited replay claims the --trace slot and exports with
+    // calibration counter tracks; later cluster runs then leave it alone.
+    let mut export_trace = trace_flag().claim();
     for spec in TraceSpec::all_five() {
         let mut rng = SimRng::new(91);
         let disk_trace = spec.generate(horizon, &mut rng);
-        let (pairs, naive) =
-            replay_audit_with_ablation(NodeConfig::disk_cfq(), Medium::Disk, &disk_trace, 1.0, 92);
-        let deadline = p95_wait(&pairs);
-        let disk_stats = classify(&pairs, deadline, mittos::DEFAULT_HOP);
-        let disk_naive = classify(&naive, deadline, mittos::DEFAULT_HOP);
+        let ring = if export_trace { REPLAY_RING } else { 0 };
+        let out = replay_audit_traced(
+            NodeConfig::disk_cfq(),
+            Medium::Disk,
+            &disk_trace,
+            1.0,
+            92,
+            plan(degrade),
+            ring,
+        );
+        let deadline = p95_wait(&out.pairs);
+        let disk_stats = classify(&out.pairs, deadline, mittos::DEFAULT_HOP);
+        let disk_naive = classify(&out.naive_pairs, deadline, mittos::DEFAULT_HOP);
+        if export_trace {
+            export_trace = false;
+            let cfg = CalibrationConfig {
+                hop: mittos::DEFAULT_HOP,
+                deadline_override: Some(deadline),
+            };
+            trace_flag().save_chrome_json(&chrome_export_with_counters(&out.trace, cfg));
+        }
 
         // SSD: the paper re-rates the disk traces 128x more intensive for
         // the 128 chips; we compress arrivals accordingly (bounded so the
         // replay stays tractable).
         let mut rng = SimRng::new(93);
         let ssd_trace = spec.generate(horizon, &mut rng);
-        let (pairs, naive) =
-            replay_audit_with_ablation(NodeConfig::ssd(), Medium::Ssd, &ssd_trace, 64.0, 94);
-        let deadline = p95_wait(&pairs);
-        let ssd_stats = classify(&pairs, deadline, mittos::DEFAULT_HOP);
-        let ssd_naive = classify(&naive, deadline, mittos::DEFAULT_HOP);
+        let out = replay_audit_traced(
+            NodeConfig::ssd(),
+            Medium::Ssd,
+            &ssd_trace,
+            64.0,
+            94,
+            plan(degrade),
+            0,
+        );
+        let deadline = p95_wait(&out.pairs);
+        let ssd_stats = classify(&out.pairs, deadline, mittos::DEFAULT_HOP);
+        let ssd_naive = classify(&out.naive_pairs, deadline, mittos::DEFAULT_HOP);
 
         println!(
             "{:>8} | {:>8.2} {:>8.2} {:>8.2} {:>10.2} | {:>8.2} {:>8.2} {:>8.2} {:>10.2}",
@@ -64,8 +170,57 @@ fn main() {
             ssd_stats.mean_diff_ms,
             ssd_naive.inaccuracy_pct(),
         );
+        agg_cfq.add(&disk_stats);
+        agg_ssd.add(&ssd_stats);
+        report.calibration.push(CalibrationRow::from_audit(
+            &format!("mittcfq/{}", spec.name),
+            &disk_stats,
+        ));
+        report.calibration.push(CalibrationRow::from_audit(
+            &format!("mittssd/{}", spec.name),
+            &ssd_stats,
+        ));
     }
+    report.calibration.push(agg_cfq.row("mittcfq"));
+    report.calibration.push(agg_ssd.row("mittssd"));
     println!("\n# Expected shape: total inaccuracy ~1% or less per trace (paper: 0.5-0.9%");
     println!("# for MittCFQ, <=0.8% for MittSSD); diffs small (<3ms disk, <1ms SSD);");
     println!("# the naive ablation is far worse (paper: up to 47% disk, 6% SSD).");
+
+    if bench_json().is_on() {
+        // Small deterministic cluster runs fill the per-strategy latency
+        // rows of the report; the ops count scales with the horizon so
+        // baselines are always compared at the same size.
+        let ops = (horizon_secs * 5).clamp(40, 1000) as usize;
+        let mut cfg = ExperimentConfig::micro(NodeConfig::disk_cfq(), Strategy::Base);
+        cfg.ops_per_client = ops;
+        cfg.seed = 95;
+        cfg.faults = plan(degrade);
+        let mut base = trace_flag().run(cfg);
+        let p95 = if base.get_latencies.is_empty() {
+            Duration::from_millis(20)
+        } else {
+            base.get_latencies.percentile(95.0)
+        };
+        let mut cfg =
+            ExperimentConfig::micro(NodeConfig::disk_cfq(), Strategy::MittOs { deadline: p95 });
+        cfg.ops_per_client = ops;
+        cfg.seed = 95;
+        cfg.faults = plan(degrade);
+        let mut mitt = trace_flag().run(cfg);
+        progress::note(&format!(
+            "micro cluster: base ops={} p95={:.2}ms; mittos ebusy={} retries={}",
+            base.ops,
+            p95.as_millis_f64(),
+            mitt.ebusy,
+            mitt.retries
+        ));
+        report
+            .strategies
+            .push(StrategyRow::from_result("base", &mut base));
+        report
+            .strategies
+            .push(StrategyRow::from_result("mittos", &mut mitt));
+    }
+    bench_json().finish_or_exit(&report);
 }

@@ -6,7 +6,7 @@ use mitt_cluster::nosql::run_survey;
 
 fn main() {
     if mitt_bench::trace_flag().is_on() {
-        eprintln!("note: this binary runs no cluster experiment; --trace is ignored");
+        mitt_bench::progress!("note: this binary runs no cluster experiment; --trace is ignored");
     }
     println!("# Table 1: Tail tolerance in NoSQL (measured reproduction)");
     println!(

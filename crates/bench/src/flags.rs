@@ -8,12 +8,23 @@
 //!
 //! Binaries route their cluster runs through [`trace_flag`]`().run(cfg)`;
 //! without the flag that is exactly `run_experiment(cfg)`.
+//!
+//! Binaries that emit machine-readable baselines additionally honour
+//! [`bench_json`]`()`: `--bench-json <BENCH_fig.json>` writes the run's
+//! [`BenchReport`], `--baseline <file>` compares against a committed
+//! baseline (exit 1 on regression), `--degrade` injects a whole-run
+//! `PredictorBias` fault so the regression gate can be exercised, and
+//! `--latency-threshold-pct` / `--calibration-threshold-pp` tune the
+//! comparison.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 use mitt_cluster::{run_experiment, ExperimentConfig, ExperimentResult};
+use mitt_obs::{BenchReport, CompareThresholds};
+
+use crate::progress;
 
 /// The `--trace <out.json>` flag.
 #[derive(Debug, Default)]
@@ -66,6 +77,25 @@ impl TraceFlag {
         self.path.is_some()
     }
 
+    /// Claims the one trace-export slot: returns true exactly once per
+    /// process when the flag is on. Binaries that export a hand-built
+    /// trace (e.g. fig9's audited replay with calibration counter tracks)
+    /// claim the slot first so a later [`TraceFlag::run`] does not
+    /// overwrite their file.
+    pub fn claim(&self) -> bool {
+        self.is_on() && !self.saved.swap(true, Ordering::Relaxed)
+    }
+
+    /// Writes pre-rendered Chrome JSON to the requested path (no-op
+    /// without the flag).
+    pub fn save_chrome_json(&self, json: &str) {
+        let Some(path) = &self.path else { return };
+        match std::fs::write(path, json) {
+            Ok(()) => progress::note(&format!("wrote Chrome trace to {}", path.display())),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+
     /// Runs `cfg`. When the flag is on, the first run through this flag
     /// records a trace and writes the Chrome JSON to the requested path;
     /// later runs (and all runs without the flag) are untouched.
@@ -84,11 +114,133 @@ impl TraceFlag {
     /// Writes a run's Chrome trace to the requested path (no-op without
     /// the flag).
     pub fn save(&self, res: &ExperimentResult) {
-        let Some(path) = &self.path else { return };
-        let json = res.trace.export_chrome_json();
-        match std::fs::write(path, json) {
-            Ok(()) => eprintln!("wrote Chrome trace to {}", path.display()),
-            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        self.save_chrome_json(&res.trace.export_chrome_json());
+    }
+}
+
+/// The `--bench-json` / `--baseline` flag set for machine-readable
+/// baselines.
+#[derive(Debug, Default)]
+pub struct BenchJsonFlag {
+    path: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    latency_pct: Option<f64>,
+    calibration_pp: Option<f64>,
+    degrade: bool,
+}
+
+/// The process-wide bench-json flag set, parsed from `std::env::args` on
+/// first use.
+pub fn bench_json() -> &'static BenchJsonFlag {
+    static FLAG: OnceLock<BenchJsonFlag> = OnceLock::new();
+    FLAG.get_or_init(BenchJsonFlag::from_args)
+}
+
+impl BenchJsonFlag {
+    fn from_args() -> Self {
+        let mut flag = BenchJsonFlag::default();
+        let mut args = std::env::args().skip(1);
+        let value = |args: &mut dyn Iterator<Item = String>, name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("usage: {name} <value>");
+                std::process::exit(2);
+            }
+        };
+        while let Some(a) = args.next() {
+            if a == "--bench-json" {
+                flag.path = Some(PathBuf::from(value(&mut args, "--bench-json")));
+            } else if let Some(p) = a.strip_prefix("--bench-json=") {
+                flag.path = Some(PathBuf::from(p));
+            } else if a == "--baseline" {
+                flag.baseline = Some(PathBuf::from(value(&mut args, "--baseline")));
+            } else if let Some(p) = a.strip_prefix("--baseline=") {
+                flag.baseline = Some(PathBuf::from(p));
+            } else if a == "--degrade" {
+                flag.degrade = true;
+            } else if a == "--latency-threshold-pct" {
+                flag.latency_pct = value(&mut args, &a).parse().ok();
+            } else if a == "--calibration-threshold-pp" {
+                flag.calibration_pp = value(&mut args, &a).parse().ok();
+            }
+        }
+        flag
+    }
+
+    /// A flag set writing to `path` (for composing in code, e.g. tests).
+    pub fn to_path(path: PathBuf) -> Self {
+        BenchJsonFlag {
+            path: Some(path),
+            ..BenchJsonFlag::default()
+        }
+    }
+
+    /// As [`BenchJsonFlag::to_path`], also comparing against `baseline`.
+    pub fn with_baseline(path: PathBuf, baseline: PathBuf) -> Self {
+        BenchJsonFlag {
+            path: Some(path),
+            baseline: Some(baseline),
+            ..BenchJsonFlag::default()
+        }
+    }
+
+    /// True when the user asked for a JSON report.
+    pub fn is_on(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// True when `--degrade` asked for a `PredictorBias`-degraded run.
+    pub fn degrade(&self) -> bool {
+        self.degrade
+    }
+
+    /// The comparison thresholds, with flag overrides applied.
+    pub fn thresholds(&self) -> CompareThresholds {
+        let mut t = CompareThresholds::default();
+        if let Some(v) = self.latency_pct {
+            t.latency_pct = v;
+        }
+        if let Some(v) = self.calibration_pp {
+            t.calibration_pp = v;
+        }
+        t
+    }
+
+    /// Writes the report and, when a baseline is configured, compares
+    /// against it. Returns the regression list (empty = pass) or an IO /
+    /// parse error.
+    pub fn finish(&self, report: &BenchReport) -> Result<Vec<String>, String> {
+        let Some(path) = &self.path else {
+            return Ok(Vec::new());
+        };
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        progress::note(&format!("wrote bench report to {}", path.display()));
+        let Some(baseline_path) = &self.baseline else {
+            return Ok(Vec::new());
+        };
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let baseline =
+            BenchReport::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        Ok(baseline.compare(report, self.thresholds()))
+    }
+
+    /// Binary-exit wrapper around [`BenchJsonFlag::finish`]: exits 2 on
+    /// IO/parse errors and 1 on regressions, after printing them.
+    pub fn finish_or_exit(&self, report: &BenchReport) {
+        match self.finish(report) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            Ok(regressions) if !regressions.is_empty() => {
+                println!("{} regression(s) vs baseline:", regressions.len());
+                for r in &regressions {
+                    println!("  {r}");
+                }
+                std::process::exit(1);
+            }
+            Ok(_) => {}
         }
     }
 }

@@ -25,11 +25,13 @@
 //! O(1)/O(P) prediction cost, addrcheck cost, scheduler and device ops.
 
 pub mod flags;
+pub mod progress;
 pub mod replay;
 pub mod report;
 pub mod setups;
 
-pub use flags::{trace_flag, TraceFlag};
+pub use flags::{bench_json, trace_flag, BenchJsonFlag, TraceFlag};
+#[allow(deprecated)]
 pub use replay::{classify, p95_wait, replay_audit, replay_audit_with_ablation, AuditStats};
 pub use report::{
     print_cdf, print_percentiles, print_reductions, print_trace_report, reduction_at,

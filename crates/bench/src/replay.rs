@@ -1,55 +1,18 @@
-//! Single-node trace replay in audit mode (§7.6, Figure 9).
+//! Deprecated shims over [`mitt_obs::replay`].
 //!
-//! The paper replays five production block traces on one machine with
-//! EBUSY suppressed: the would-be decision is attached to each IO
-//! descriptor and compared with the measured outcome at completion. This
-//! module drives one [`Node`] through a trace and classifies the resulting
-//! (predicted wait, actual wait) pairs against a deadline — by the paper's
-//! definitions:
-//!
-//! - false positive: EBUSY would have been returned but the IO met its
-//!   deadline;
-//! - false negative: no EBUSY but the IO missed its deadline.
+//! The audit-mode replay engine (§7.6, Figure 9) moved to the `mitt-obs`
+//! crate so the calibration telemetry and the figure binaries share one
+//! production implementation. These wrappers keep old call sites
+//! compiling; new code should use `mitt_obs::replay` directly.
 
-use std::collections::HashMap;
+pub use mitt_obs::replay::AuditStats;
 
-use mitt_cluster::node::{AuditPair, Medium, Node, NodeConfig, ReadOutcome, ReadReq, Ticks};
-use mitt_cluster::WriteOutcome;
-use mitt_device::{IoId, ProcessId, SubIoKey};
-use mitt_sim::{Duration, EventQueue, SimRng, SimTime};
+use mitt_cluster::node::{AuditPair, Medium, NodeConfig};
+use mitt_sim::Duration;
 use mitt_workload::TraceIo;
-use mittos::{NaiveDisk, NaiveSsd};
 
-enum Ev {
-    Submit(usize),
-    DiskTick,
-    SsdTick {
-        key: SubIoKey,
-        channel: usize,
-        chip: usize,
-        busy: Duration,
-    },
-}
-
-/// A shadow predictor maintained alongside the real MittOS mirrors during
-/// a replay — the §7.6 ablation baselines.
-enum Shadow {
-    Disk(NaiveDisk),
-    Ssd(NaiveSsd),
-}
-
-impl Shadow {
-    fn predict(&mut self, io: &mitt_device::BlockIo, now: SimTime) -> Duration {
-        match self {
-            Shadow::Disk(p) => p.predict_and_account(io, now),
-            Shadow::Ssd(p) => p.predict_and_account(io, now),
-        }
-    }
-}
-
-/// Replays `trace` on a fresh audit-mode node; returns the resolved
-/// prediction pairs. `rerate` compresses arrival times (the paper re-rates
-/// disk traces 128x for the SSD's 128 chips).
+/// Moved to `mitt_obs::replay::replay_audit`.
+#[deprecated(note = "moved to mitt_obs::replay::replay_audit")]
 pub fn replay_audit(
     node_cfg: NodeConfig,
     medium: Medium,
@@ -57,12 +20,11 @@ pub fn replay_audit(
     rerate: f64,
     seed: u64,
 ) -> Vec<AuditPair> {
-    replay_audit_with_ablation(node_cfg, medium, trace, rerate, seed).0
+    mitt_obs::replay::replay_audit(node_cfg, medium, trace, rerate, seed)
 }
 
-/// As [`replay_audit`], additionally resolving predictions from the naive
-/// baseline predictors over the same IO stream (§7.6's "without our
-/// precision improvements" comparison).
+/// Moved to `mitt_obs::replay::replay_audit_with_ablation`.
+#[deprecated(note = "moved to mitt_obs::replay::replay_audit_with_ablation")]
 pub fn replay_audit_with_ablation(
     node_cfg: NodeConfig,
     medium: Medium,
@@ -70,241 +32,40 @@ pub fn replay_audit_with_ablation(
     rerate: f64,
     seed: u64,
 ) -> (Vec<AuditPair>, Vec<AuditPair>) {
-    assert!(rerate > 0.0, "rerate factor must be positive");
-    let mut cfg = node_cfg;
-    cfg.audit_mode = true;
-    cfg.cpu = None;
-    let mut rng = SimRng::new(seed);
-    let mut node = Node::new(0, cfg, &mut rng);
-    let mut shadow = match medium {
-        // The naive disk assumes the average random 4KB service time.
-        Medium::Disk => Shadow::Disk(NaiveDisk::new(Duration::from_micros(6500))),
-        Medium::Ssd => Shadow::Ssd(NaiveSsd::new(16 * 1024, Duration::from_micros(100))),
-    };
-    let mut naive_open: HashMap<IoId, Duration> = HashMap::new();
-    let mut naive_pairs: Vec<AuditPair> = Vec::new();
-    let mut q: EventQueue<Ev> = EventQueue::new();
-    for (i, io) in trace.iter().enumerate() {
-        let at = SimTime::from_nanos((io.at.as_nanos() as f64 / rerate) as u64);
-        q.schedule(at, Ev::Submit(i));
-    }
-    // A placeholder deadline marks reads for auditing; classification
-    // happens offline against any deadline via `classify`.
-    let placeholder = match medium {
-        Medium::Disk => Duration::from_millis(10),
-        Medium::Ssd => Duration::from_millis(1),
-    };
-    while let Some((now, ev)) = q.pop() {
-        match ev {
-            Ev::Submit(i) => {
-                let t = trace[i];
-                let mut req = ReadReq::client(t.offset, t.len.min(1 << 20), ProcessId(1));
-                req.medium = medium;
-                if t.is_read {
-                    req = req.with_deadline(placeholder);
-                    let sub = node.submit_read(&req, now);
-                    if let ReadOutcome::Submitted { io, ticks } = sub.outcome {
-                        let shadow_io = mitt_device::BlockIo::read(
-                            io,
-                            t.offset,
-                            t.len.min(1 << 20),
-                            ProcessId(1),
-                            now,
-                        );
-                        naive_open.insert(io, shadow.predict(&shadow_io, now));
-                        schedule_ticks(&mut q, ticks);
-                    }
-                } else if let WriteOutcome::Submitted(sub) = node.submit_write(&req, now) {
-                    if let ReadOutcome::Submitted { io, ticks } = sub.outcome {
-                        let shadow_io = mitt_device::BlockIo::write(
-                            io,
-                            t.offset,
-                            t.len.min(1 << 20),
-                            ProcessId(1),
-                            now,
-                        );
-                        shadow.predict(&shadow_io, now);
-                        schedule_ticks(&mut q, ticks);
-                    }
-                }
-            }
-            Ev::DiskTick => {
-                let out = node.on_disk_tick(now);
-                if let Some(pred) = naive_open.remove(&out.done.io) {
-                    naive_pairs.push(AuditPair {
-                        predicted_wait: pred,
-                        actual_wait: out.done.wait,
-                        would_reject: false,
-                        deadline: placeholder,
-                    });
-                }
-                if let Some(next) = out.next {
-                    q.schedule(next.done_at, Ev::DiskTick);
-                }
-            }
-            Ev::SsdTick {
-                key,
-                channel,
-                chip,
-                busy,
-            } => {
-                if let Some(done) = node.on_ssd_tick(key, channel, chip, busy, now) {
-                    if let Some(pred) = naive_open.remove(&done.io) {
-                        naive_pairs.push(AuditPair {
-                            predicted_wait: pred,
-                            actual_wait: done.wait,
-                            would_reject: false,
-                            deadline: placeholder,
-                        });
-                    }
-                }
-            }
-        }
-    }
-    (node.audit_pairs().to_vec(), naive_pairs)
+    mitt_obs::replay::replay_audit_with_ablation(node_cfg, medium, trace, rerate, seed)
 }
 
-fn schedule_ticks(q: &mut EventQueue<Ev>, ticks: Ticks) {
-    if let Some(s) = ticks.disk {
-        q.schedule(s.done_at, Ev::DiskTick);
-    }
-    for sc in ticks.ssd {
-        q.schedule(
-            sc.done_at,
-            Ev::SsdTick {
-                key: sc.key,
-                channel: sc.channel,
-                chip: sc.chip,
-                busy: sc.busy,
-            },
-        );
-    }
-}
-
-/// Accuracy statistics over classified audit pairs.
-#[derive(Debug, Clone, Copy)]
-pub struct AuditStats {
-    /// False positives as % of all audited IOs.
-    pub fp_pct: f64,
-    /// False negatives as % of all audited IOs.
-    pub fn_pct: f64,
-    /// Mean |predicted - actual| wait among misclassified IOs, ms.
-    pub mean_diff_ms: f64,
-    /// Max diff among misclassified IOs, ms.
-    pub max_diff_ms: f64,
-    /// Audited IO count.
-    pub total: usize,
-}
-
-impl AuditStats {
-    /// FP + FN.
-    pub fn inaccuracy_pct(&self) -> f64 {
-        self.fp_pct + self.fn_pct
-    }
-}
-
-/// The p95 of actual waits — the deadline value the paper uses.
+/// Moved to `mitt_obs::replay::p95_wait`.
+#[deprecated(note = "moved to mitt_obs::replay::p95_wait")]
 pub fn p95_wait(pairs: &[AuditPair]) -> Duration {
-    let mut rec = mitt_sim::LatencyRecorder::new();
-    for p in pairs {
-        rec.record(p.actual_wait);
-    }
-    if rec.is_empty() {
-        Duration::ZERO
-    } else {
-        rec.percentile(95.0)
-    }
+    mitt_obs::replay::p95_wait(pairs)
 }
 
-/// Classifies pairs against a deadline: rejection rule is
-/// `predicted_wait > deadline + hop` (§4.1), violation is
-/// `actual_wait > deadline + hop`.
+/// Moved to `mitt_obs::replay::classify`.
+#[deprecated(note = "moved to mitt_obs::replay::classify")]
 pub fn classify(pairs: &[AuditPair], deadline: Duration, hop: Duration) -> AuditStats {
-    let bound = deadline + hop;
-    let mut fp = 0usize;
-    let mut fneg = 0usize;
-    let mut diffs = Vec::new();
-    for p in pairs {
-        let pred_reject = p.predicted_wait > bound;
-        let violates = p.actual_wait > bound;
-        if pred_reject != violates {
-            if pred_reject {
-                fp += 1;
-            } else {
-                fneg += 1;
-            }
-            let d = if p.actual_wait > p.predicted_wait {
-                p.actual_wait - p.predicted_wait
-            } else {
-                p.predicted_wait - p.actual_wait
-            };
-            diffs.push(d.as_millis_f64());
-        }
-    }
-    let total = pairs.len().max(1);
-    AuditStats {
-        fp_pct: 100.0 * fp as f64 / total as f64,
-        fn_pct: 100.0 * fneg as f64 / total as f64,
-        mean_diff_ms: if diffs.is_empty() {
-            0.0
-        } else {
-            diffs.iter().sum::<f64>() / diffs.len() as f64
-        },
-        max_diff_ms: diffs.iter().copied().fold(0.0, f64::max),
-        total: pairs.len(),
-    }
+    mitt_obs::replay::classify(pairs, deadline, hop)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
+    use mitt_sim::SimRng;
     use mitt_workload::TraceSpec;
 
+    // The engine's own tests live in mitt-obs; this pins the shims to the
+    // production path.
     #[test]
-    fn disk_replay_produces_pairs_and_low_inaccuracy() {
+    fn shims_delegate_to_the_obs_engine() {
         let spec = TraceSpec::tpcc();
         let mut rng = SimRng::new(1);
-        let trace = spec.generate(Duration::from_secs(20), &mut rng);
-        let pairs = replay_audit(NodeConfig::disk_cfq(), Medium::Disk, &trace, 1.0, 2);
-        assert!(pairs.len() > 500, "audited {} IOs", pairs.len());
-        let deadline = p95_wait(&pairs);
-        let stats = classify(&pairs, deadline, mittos::DEFAULT_HOP);
-        // The paper reports 0.5-0.9% total inaccuracy; allow a loose band.
-        assert!(
-            stats.inaccuracy_pct() < 5.0,
-            "inaccuracy {}%",
-            stats.inaccuracy_pct()
-        );
-    }
-
-    #[test]
-    fn ssd_replay_produces_pairs() {
-        let spec = TraceSpec::dtrs();
-        let mut rng = SimRng::new(3);
-        let trace = spec.generate(Duration::from_secs(10), &mut rng);
-        let pairs = replay_audit(NodeConfig::ssd(), Medium::Ssd, &trace, 4.0, 4);
-        assert!(pairs.len() > 150, "pairs = {}", pairs.len());
-        let stats = classify(&pairs, p95_wait(&pairs), mittos::DEFAULT_HOP);
-        assert!(stats.inaccuracy_pct() < 5.0);
-    }
-
-    #[test]
-    fn classify_counts_quadrants() {
-        let pair = |pred_ms: u64, actual_ms: u64| AuditPair {
-            predicted_wait: Duration::from_millis(pred_ms),
-            actual_wait: Duration::from_millis(actual_ms),
-            would_reject: false,
-            deadline: Duration::from_millis(10),
-        };
-        let pairs = vec![
-            pair(20, 20), // TP
-            pair(1, 1),   // TN
-            pair(20, 1),  // FP
-            pair(1, 20),  // FN
-        ];
-        let s = classify(&pairs, Duration::from_millis(10), Duration::ZERO);
-        assert!((s.fp_pct - 25.0).abs() < 1e-9);
-        assert!((s.fn_pct - 25.0).abs() < 1e-9);
-        assert!((s.mean_diff_ms - 19.0).abs() < 1e-9);
+        let trace = spec.generate(Duration::from_secs(5), &mut rng);
+        let via_shim = replay_audit(NodeConfig::disk_cfq(), Medium::Disk, &trace, 1.0, 2);
+        let direct =
+            mitt_obs::replay::replay_audit(NodeConfig::disk_cfq(), Medium::Disk, &trace, 1.0, 2);
+        assert_eq!(via_shim.len(), direct.len());
+        let s = classify(&via_shim, p95_wait(&via_shim), mittos::DEFAULT_HOP);
+        assert_eq!(s.total, via_shim.len());
     }
 }

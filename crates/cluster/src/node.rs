@@ -29,7 +29,7 @@ use mitt_oscache::{PageCache, PageCacheConfig};
 use mitt_sched::{Cfq, CfqConfig, DiskScheduler, Noop};
 use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_trace::report::{CACHE_HIT_COUNTER, EBUSY_COUNTER, PREDICT_ERROR_HIST, SUBMIT_COUNTER};
-use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 use mittos::{
     decide, profile_disk, profile_ssd, CacheVerdict, Decision, DiskProfile, ErrorInjector,
     MittCache, MittCfq, MittNoop, MittSsd, Slo, ADDRCHECK_COST,
@@ -250,6 +250,8 @@ pub enum ReadOutcome {
     Busy {
         /// The predicted wait that violated the deadline.
         predicted_wait: Duration,
+        /// The resource the rejection is blamed on (SLO attribution).
+        resource: Resource,
         /// Refill completions to schedule.
         ticks: Ticks,
     },
@@ -331,6 +333,14 @@ impl DiskMitt {
     fn on_dispatch(&mut self, id: IoId, now: SimTime) {
         if let DiskMitt::Cfq(m) = self {
             m.on_dispatch(id, now);
+        }
+    }
+
+    /// SLO-attribution context of a rejection decided at `now`.
+    fn attribution(&self, now: SimTime) -> (Resource, u64) {
+        match self {
+            DiskMitt::Noop(m) => m.attribution(now),
+            DiskMitt::Cfq(m) => m.attribution(now),
         }
     }
 
@@ -558,7 +568,8 @@ impl Node {
                             bumped: Vec::new(),
                         };
                     }
-                    CacheVerdict::Busy { .. } => {
+                    CacheVerdict::Busy { refill } => {
+                        let resource = cs.mitt.attribution(now);
                         self.ebusy_times.push(now);
                         self.trace.count(EBUSY_COUNTER, 1);
                         self.trace.emit(
@@ -569,12 +580,22 @@ impl Node {
                                 predicted_wait: Duration::MAX,
                             },
                         );
+                        // MittCache emits no Predict event, so the
+                        // attribution carries no predicted wait either.
+                        self.emit_attribution(
+                            req.offset,
+                            resource,
+                            Duration::MAX,
+                            refill.len() as u64,
+                            now,
+                        );
                         // Keep swapping the data in at Idle priority so the
                         // tenant's cache share is not starved (§4.4).
                         let ticks = self.submit_refill(req.offset, req.len, req.medium, now);
                         return Submission {
                             outcome: ReadOutcome::Busy {
                                 predicted_wait: Duration::MAX,
+                                resource,
                                 ticks,
                             },
                             bumped: Vec::new(),
@@ -657,6 +678,33 @@ impl Node {
         self.trace.count(counter, 1);
     }
 
+    /// Emits the SLO-attribution companion of a Reject: one `Attribution`
+    /// event directly after the Reject in the ring (consumers pair them by
+    /// order) plus the per-resource counter. No-op when untraced.
+    fn emit_attribution(
+        &mut self,
+        io: u64,
+        resource: Resource,
+        predicted_wait: Duration,
+        detail: u64,
+        now: SimTime,
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.emit(
+            now,
+            Subsystem::Node,
+            EventKind::Attribution {
+                io,
+                resource,
+                predicted_wait,
+                detail,
+            },
+        );
+        self.trace.count(resource.counter(), 1);
+    }
+
     /// Applies the audit/injection policy to a raw decision; returns the
     /// final decision.
     fn policy(&mut self, io: &BlockIo, raw: Decision) -> Decision {
@@ -698,6 +746,7 @@ impl Node {
         let ds = self.disk.as_mut().expect("node has no disk stack");
         match decision {
             Decision::Reject { predicted_wait } => {
+                let (resource, depth) = ds.mitt.attribution(now);
                 self.ebusy_times.push(now);
                 self.trace.count(EBUSY_COUNTER, 1);
                 self.trace.emit(
@@ -708,9 +757,11 @@ impl Node {
                         predicted_wait,
                     },
                 );
+                self.emit_attribution(io.id.0, resource, predicted_wait, depth, now);
                 Submission {
                     outcome: ReadOutcome::Busy {
                         predicted_wait,
+                        resource,
                         ticks: Ticks::default(),
                     },
                     bumped: Vec::new(),
@@ -735,6 +786,7 @@ impl Node {
                         }
                     }
                 } else {
+                    let (resource, depth) = ds.mitt.attribution(now);
                     for id in &bumped {
                         ds.sched.cancel(*id);
                         self.ebusy_times.push(now);
@@ -747,7 +799,22 @@ impl Node {
                                 predicted_wait: Duration::MAX,
                             },
                         );
-                        self.pred_wait.remove(id);
+                        // The bumped IO's own Predict event carried its
+                        // admission-time wait; attribute with that value.
+                        let pw = self.pred_wait.remove(id).unwrap_or(Duration::MAX);
+                        if self.trace.is_enabled() {
+                            self.trace.emit(
+                                now,
+                                Subsystem::Node,
+                                EventKind::Attribution {
+                                    io: id.0,
+                                    resource,
+                                    predicted_wait: pw,
+                                    detail: depth,
+                                },
+                            );
+                            self.trace.count(resource.counter(), 1);
+                        }
                     }
                 }
                 let io_id = io.id;
@@ -780,6 +847,7 @@ impl Node {
         let ss = self.ssd.as_mut().expect("node has no SSD stack");
         match decision {
             Decision::Reject { predicted_wait } => {
+                let (resource, inflight) = ss.mitt.attribution(now);
                 self.ebusy_times.push(now);
                 self.trace.count(EBUSY_COUNTER, 1);
                 self.trace.emit(
@@ -790,9 +858,11 @@ impl Node {
                         predicted_wait,
                     },
                 );
+                self.emit_attribution(io.id.0, resource, predicted_wait, inflight, now);
                 Submission {
                     outcome: ReadOutcome::Busy {
                         predicted_wait,
+                        resource,
                         ticks: Ticks::default(),
                     },
                     bumped: Vec::new(),

@@ -33,7 +33,8 @@ use mitt_faults::{
 };
 use mitt_lsm::{GetStep, LsmConfig, LsmEngine};
 use mitt_sim::{Duration, EventQueue, LatencyRecorder, SimRng, SimTime};
-use mitt_trace::{EventKind, Subsystem, TraceSink, CLUSTER_NODE, DEFAULT_RING_CAPACITY};
+use mitt_trace::report::{NET_HOP_COUNTER, NET_HOP_FAULTED_COUNTER, NET_HOP_HIST};
+use mitt_trace::{EventKind, Resource, Subsystem, TraceSink, CLUSTER_NODE, DEFAULT_RING_CAPACITY};
 use mitt_workload::{KeyDist, NoiseBurst, YcsbConfig, YcsbGenerator};
 use mittos::DeadlineTuner;
 
@@ -383,11 +384,12 @@ pub struct ExperimentResult {
 enum TryResult {
     /// Success; carries the server's piggybacked queue size (C3-style
     /// feedback: the serving node reports its IO backlog with the reply).
-    Ok {
-        server_queue: usize,
-    },
+    Ok { server_queue: usize },
     Busy {
         wait: Duration,
+        /// The resource the serving node blamed for the rejection
+        /// (forwarded so failovers can be attributed client-side).
+        resource: Resource,
     },
     /// The serving node crashed before replying; the client's failure
     /// detector delivers this verdict [`CRASH_REPLY_DELAY`] after the loss.
@@ -1119,15 +1121,45 @@ impl ClusterSim {
     /// rather than stranding ops, keeping the event loop live.
     fn net_delay_node(&mut self, node: usize, now: SimTime) -> Duration {
         let base = self.net_delay();
-        let Some(fc) = self.fault_handles.get(node) else {
-            return base;
+        let (d, faulted) = match self.fault_handles.get(node) {
+            Some(fc) => {
+                let fc = fc.clone();
+                let extra = fc.net_extra(now);
+                let mut d = base + extra;
+                let dropped = fc.drop_message(now);
+                if dropped {
+                    d = d + RETRANSMIT_DELAY + self.net_delay();
+                }
+                (d, !extra.is_zero() || dropped)
+            }
+            None => (base, false),
         };
-        let fc = fc.clone();
-        let mut d = base + fc.net_extra(now);
-        if fc.drop_message(now) {
-            d = d + RETRANSMIT_DELAY + self.net_delay();
-        }
+        self.emit_net_hop(node, d, faulted, now);
         d
+    }
+
+    /// Records one message leg in the trace: a `net_hop` event plus the
+    /// hop counters/histogram (closing the "instrument the network model"
+    /// item). Purely observational — no RNG is consumed, so traced and
+    /// untraced runs stay schedule-identical.
+    fn emit_net_hop(&mut self, node: usize, delay: Duration, faulted: bool, now: SimTime) {
+        if !self.result.trace.is_enabled() {
+            return;
+        }
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::NetHop {
+                node: node as u32,
+                delay,
+                faulted,
+            },
+        );
+        self.result.trace.count(NET_HOP_COUNTER, 1);
+        self.result.trace.observe_ns(NET_HOP_HIST, delay.as_nanos());
+        if faulted {
+            self.result.trace.count(NET_HOP_FAULTED_COUNTER, 1);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1382,6 +1414,9 @@ impl ClusterSim {
                         attempt: batt,
                         result: TryResult::Busy {
                             wait: Duration::MAX,
+                            // Only the CFQ tolerable-time table bumps
+                            // admitted IOs, so the blame is unambiguous.
+                            resource: Resource::CfqQueue,
                         },
                     },
                 );
@@ -1417,6 +1452,7 @@ impl ClusterSim {
             }
             ReadOutcome::Busy {
                 predicted_wait,
+                resource,
                 ticks,
             } => {
                 self.schedule_ticks(node_id, ticks, now);
@@ -1428,6 +1464,7 @@ impl ClusterSim {
                         attempt,
                         result: TryResult::Busy {
                             wait: predicted_wait,
+                            resource,
                         },
                     },
                 );
@@ -1618,7 +1655,7 @@ impl ClusterSim {
         }
         match result {
             TryResult::Ok { .. } => self.complete_op(op, attempt, now),
-            TryResult::Busy { wait } => {
+            TryResult::Busy { wait, resource } => {
                 self.result.ebusy += 1;
                 self.ops[op].busy_waits.push((node, wait));
                 let tries = self.ops[op].attempts.len() - self.ops[op].round_base;
@@ -1627,6 +1664,7 @@ impl ClusterSim {
                         self.result.retries += 1;
                         let next_node = self.next_replica(op, tries, now);
                         self.emit_failover(op, node, next_node, now);
+                        self.emit_cluster_attribution(op, resource, wait, node as u64, false, now);
                         let d = self.deadline_for(op, tries);
                         self.send_try(op, next_node, now, d);
                     } else if matches!(self.cfg.strategy, Strategy::MittOsWait { .. }) {
@@ -1652,6 +1690,7 @@ impl ClusterSim {
                             .copied()
                             .expect("at least one busy reply");
                         self.emit_failover(op, node, best_node, now);
+                        self.emit_cluster_attribution(op, resource, wait, node as u64, false, now);
                         self.send_try(op, best_node, now, None);
                     } else {
                         // All tries rejected even with the deadline
@@ -1685,6 +1724,16 @@ impl ClusterSim {
                     // let it win.
                     return;
                 }
+                // A crash is only ever an injected fault; no node-side
+                // Reject exists, so the cluster attributes (and counts) it.
+                self.emit_cluster_attribution(
+                    op,
+                    Resource::FaultWindow,
+                    Duration::MAX,
+                    node as u64,
+                    true,
+                    now,
+                );
                 let tries = self.ops[op].attempts.len() - self.ops[op].round_base;
                 if tries < self.cfg.replication {
                     // Connection-level failure: every strategy fails over
@@ -1716,6 +1765,19 @@ impl ClusterSim {
         for i in 0..replicas.len() {
             let cand = replicas[(tries + i) % replicas.len()];
             if self.breakers[cand].allow(now) {
+                if cand != default {
+                    // The breaker vetoed the rotation's choice: an
+                    // attribution with no node-side counterpart, so the
+                    // cluster counts it too.
+                    self.emit_cluster_attribution(
+                        op,
+                        Resource::Breaker,
+                        Duration::MAX,
+                        default as u64,
+                        true,
+                        now,
+                    );
+                }
                 return cand;
             }
         }
@@ -1731,6 +1793,38 @@ impl ClusterSim {
         let node = self.next_replica(op, 0, now);
         let d = self.deadline_for(op, 0);
         self.send_try(op, node, now, d);
+    }
+
+    /// Records a cluster-side SLO attribution directly after the event it
+    /// explains (Failover, Crashed verdict, breaker veto, hedge). `bump`
+    /// controls the per-resource counter: busy-triggered failovers
+    /// re-attribute a rejection the node already counted, so they record
+    /// the event only; causes with no node-side counterpart count here.
+    fn emit_cluster_attribution(
+        &mut self,
+        op: usize,
+        resource: Resource,
+        predicted_wait: Duration,
+        detail: u64,
+        bump: bool,
+        now: SimTime,
+    ) {
+        if !self.result.trace.is_enabled() {
+            return;
+        }
+        self.result.trace.emit(
+            now,
+            Subsystem::Cluster,
+            EventKind::Attribution {
+                io: op as u64,
+                resource,
+                predicted_wait,
+                detail,
+            },
+        );
+        if bump {
+            self.result.trace.count(resource.counter(), 1);
+        }
     }
 
     /// Records an EBUSY-triggered replica switch in the trace.
@@ -1822,6 +1916,9 @@ impl ClusterSim {
                 to: next as u32,
             },
         );
+        // A hedge fires on client-side tail suspicion: the only resource
+        // visible from outside the node is the request's network path.
+        self.emit_cluster_attribution(op, Resource::NetHop, Duration::MAX, first as u64, true, now);
         self.send_try(op, next, now, None);
     }
 

@@ -16,7 +16,7 @@
 use mitt_faults::FaultClock;
 use mitt_oscache::{PageCache, RangeCheck};
 use mitt_sim::{Duration, SimTime};
-use mitt_trace::{Subsystem, TraceSink};
+use mitt_trace::{Resource, Subsystem, TraceSink};
 
 use crate::slo::Slo;
 
@@ -82,6 +82,18 @@ impl MittCache {
     /// The storage floor used for the residency-expectation test.
     pub fn min_io_latency(&self) -> Duration {
         self.min_io_latency
+    }
+
+    /// SLO-attribution resource for a cache EBUSY decided at `now`: a
+    /// genuine contention miss, unless a `PredictorBias` window is
+    /// inflating the storage floor (the caller supplies the refill count
+    /// as the detail).
+    pub fn attribution(&self, now: SimTime) -> Resource {
+        if self.faults.bias_active(now) {
+            Resource::FaultWindow
+        } else {
+            Resource::CacheMiss
+        }
     }
 
     /// Checks an access of `[offset, offset+len)` against the cache.

@@ -25,7 +25,7 @@ use std::collections::{HashMap, HashSet};
 use mitt_device::{BlockIo, IoClass, IoId, ProcessId};
 use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimTime};
-use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 
 use crate::profile::DiskProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -154,6 +154,18 @@ impl MittCfq {
             }
         }
         Duration::from_nanos((device + ahead).max(0) as u64)
+    }
+
+    /// SLO-attribution context for a rejection decided at `now`: the
+    /// responsible resource plus the CFQ queue depth behind the predicted
+    /// wait. Inside a `PredictorBias` window the blame shifts to the fault.
+    pub fn attribution(&self, now: SimTime) -> (Resource, u64) {
+        let resource = if self.faults.bias_active(now) {
+            Resource::FaultWindow
+        } else {
+            Resource::CfqQueue
+        };
+        (resource, self.queued.len() as u64)
     }
 
     /// [`MittCfq::predicted_wait`] as the admission path sees it: any

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use mitt_device::{BlockIo, IoId};
 use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimTime};
-use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 
 use crate::profile::DiskProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -69,6 +69,20 @@ impl MittNoop {
     /// accurate, so calibration is unaffected).
     pub fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    /// SLO-attribution context for a rejection decided at `now`: the
+    /// responsible resource plus a resource-specific detail (here the
+    /// number of admitted, not-yet-completed IOs backing `T_nextFree`).
+    /// Inside a `PredictorBias` window the blame shifts to the fault, not
+    /// the drain estimate.
+    pub fn attribution(&self, now: SimTime) -> (Resource, u64) {
+        let resource = if self.faults.bias_active(now) {
+            Resource::FaultWindow
+        } else {
+            Resource::NoopNextFree
+        };
+        (resource, self.pending.len() as u64)
     }
 
     /// Predicted wait for an IO arriving at `now` (before admission).

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use mitt_device::{BlockIo, IoId, IoKind, SsdSpec};
 use mitt_faults::FaultClock;
 use mitt_sim::{Duration, SimTime};
-use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 
 use crate::profile::SsdProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -114,6 +114,19 @@ impl MittSsd {
             .max()
             .unwrap_or(0);
         Duration::from_nanos(worst.max(0) as u64)
+    }
+
+    /// SLO-attribution context for a rejection decided at `now`: the
+    /// responsible resource plus the number of in-flight sub-IOs across
+    /// all chips/channels. Inside a `PredictorBias` window the blame
+    /// shifts to the fault.
+    pub fn attribution(&self, now: SimTime) -> (Resource, u64) {
+        let resource = if self.faults.bias_active(now) {
+            Resource::FaultWindow
+        } else {
+            Resource::SsdChannel
+        };
+        (resource, self.pending.len() as u64)
     }
 
     /// [`MittSsd::predicted_wait`] as the admission path sees it: any

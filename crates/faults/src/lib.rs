@@ -479,6 +479,17 @@ impl FaultClock {
         out
     }
 
+    /// True while a `PredictorBias` window applies to this node at `now`.
+    ///
+    /// A pure query — unlike [`Self::distort_wait`] it consumes no RNG and
+    /// bumps no counter, so attribution code can ask "is this prediction
+    /// distorted?" without perturbing the run.
+    pub fn bias_active(&self, now: SimTime) -> bool {
+        self.fold_active(now, false, |acc, ev| {
+            acc || matches!(ev.kind, FaultKind::PredictorBias { .. })
+        })
+    }
+
     /// True while this node's storage service is crashed at `now`.
     pub fn crashed(&self, now: SimTime) -> bool {
         self.fold_active(now, false, |acc, ev| {
@@ -626,6 +637,21 @@ mod tests {
         }
         assert_eq!(c.distorted_predictions(), 16);
         assert_eq!(c.distort_wait(at(15), ms(4)), ms(4), "inactive = identity");
+    }
+
+    #[test]
+    fn bias_active_is_a_pure_query() {
+        let c = clock(FaultPlan::new().predictor_bias(Some(1), at(0), ms(10), 2.0, ms(1)));
+        let h = c.for_node(1);
+        assert!(h.bias_active(at(5)));
+        assert!(!h.bias_active(at(15)), "window is half-open");
+        assert!(!c.for_node(0).bias_active(at(5)), "node-scoped");
+        assert_eq!(
+            c.distorted_predictions(),
+            0,
+            "querying must not count as a distortion"
+        );
+        assert!(!FaultClock::disabled().bias_active(at(5)));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | D004 | `thread::sleep`/`std::process`/`env::var` in simulation crates |
 //! | R001 | `unwrap()`/`expect()` in library code of simcore/core/sched/device |
 //! | S001 | undocumented `pub` items in simcore/core |
+//! | O001 | direct `eprintln!` in figure binaries (use `mitt_bench::progress`) |
 //!
 //! Justified violations carry a pragma the scanner honors and tallies:
 //!

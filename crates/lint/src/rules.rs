@@ -23,17 +23,22 @@ pub enum Rule {
     R001,
     /// Undocumented `pub` item in `simcore`/`core`.
     S001,
+    /// Direct `eprintln!` in a figure binary (`crates/bench/src/bin/`);
+    /// progress notes must go through `mitt_bench::progress` so `--quiet`
+    /// works and stderr stays reserved for real errors.
+    O001,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
         Rule::D004,
         Rule::R001,
         Rule::S001,
+        Rule::O001,
     ];
 
     /// The stable rule ID used in reports and pragmas.
@@ -45,6 +50,7 @@ impl Rule {
             Rule::D004 => "D004",
             Rule::R001 => "R001",
             Rule::S001 => "S001",
+            Rule::O001 => "O001",
         }
     }
 
@@ -57,6 +63,7 @@ impl Rule {
             Rule::D004 => "host-environment access in a simulation crate",
             Rule::R001 => "unwrap()/expect() in core library code",
             Rule::S001 => "undocumented public item",
+            Rule::O001 => "direct eprintln! in a figure binary",
         }
     }
 
@@ -171,6 +178,7 @@ pub fn scan_source(
     rule_d004(&ctx, &mut raw);
     rule_r001(&ctx, &mut raw);
     rule_s001(&ctx, &mut raw);
+    rule_o001(&ctx, &mut raw);
     raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
 
     for v in raw {
@@ -757,6 +765,32 @@ fn rule_r001(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
                 );
                 break;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// O001 — direct eprintln! in figure binaries
+// ---------------------------------------------------------------------------
+
+fn rule_o001(ctx: &Ctx<'_>, out: &mut Vec<Violation>) {
+    if ctx.crate_name != "bench" || !ctx.display_path.contains("src/bin/") {
+        return;
+    }
+    for (idx, line) in ctx.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if ctx.in_test(line_no) {
+            continue;
+        }
+        if find_token(line, "eprintln!") {
+            ctx.push(
+                out,
+                Rule::O001,
+                line_no,
+                "`eprintln!` in a figure binary bypasses `--quiet` and pollutes \
+                 stderr captures; use `mitt_bench::progress!` (or `progress::note`)"
+                    .to_string(),
+            );
         }
     }
 }

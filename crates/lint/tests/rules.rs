@@ -301,6 +301,55 @@ fn s001_pragma_suppressed_and_test_exempt() {
 }
 
 // --------------------------------------------------------------------------
+// O001 — eprintln! in figure binaries
+// --------------------------------------------------------------------------
+
+#[test]
+fn o001_hits_eprintln_in_bench_bins_only() {
+    let src = "fn main() { eprintln!(\"ran fig: ops={}\", 7); }\n";
+    let out = scan_source(
+        "bench",
+        FileKind::Library,
+        "crates/bench/src/bin/fig0.rs",
+        src,
+    );
+    assert_eq!(
+        out.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+        vec![Rule::O001]
+    );
+    // Library code of the bench crate (progress.rs, flags.rs) may still
+    // report real errors on stderr.
+    let out = scan_source("bench", FileKind::Library, "crates/bench/src/flags.rs", src);
+    assert!(out.violations.is_empty());
+    // Other crates' binaries are out of scope.
+    let out = scan_source("lint", FileKind::Library, "crates/lint/src/main.rs", src);
+    assert!(out.violations.is_empty());
+}
+
+#[test]
+fn o001_pragma_suppressed_and_comment_resistant() {
+    let src = "// mitt-lint: allow(O001, \"usage error, belongs on stderr\")\n\
+               fn main() { eprintln!(\"usage: fig0\"); }\n";
+    let out = scan_source(
+        "bench",
+        FileKind::Library,
+        "crates/bench/src/bin/fig0.rs",
+        src,
+    );
+    assert!(out.violations.is_empty());
+    assert_eq!(out.suppressed.len(), 1);
+    // Mentions in comments or strings never fire.
+    let src = "fn main() { println!(\"eprintln! is banned here\"); } // use eprintln!\n";
+    let out = scan_source(
+        "bench",
+        FileKind::Library,
+        "crates/bench/src/bin/fig0.rs",
+        src,
+    );
+    assert!(out.violations.is_empty());
+}
+
+// --------------------------------------------------------------------------
 // Pragma machinery
 // --------------------------------------------------------------------------
 

@@ -1,0 +1,465 @@
+//! Machine-readable bench baselines: the `BENCH_<fig>.json` schema.
+//!
+//! Every figure binary can emit one [`BenchReport`] — per-strategy
+//! p50/p95/p99 latency, EBUSY/retry/error/breaker counters, and a
+//! per-predictor calibration summary — in a stable, diff-friendly JSON
+//! encoding (`mitt-bench/v1`). [`BenchReport::compare`] checks a run
+//! against a committed baseline and returns the list of regressions that
+//! exceed the configured thresholds; `mitt-obs compare` wraps it as a CI
+//! gate.
+//!
+//! Formatting rules keeping the artifact deterministic: field order is
+//! fixed by the writer (never a hash map), floats are fixed-point with
+//! three decimals, and rows appear in the order the binary pushed them.
+
+use mitt_cluster::ExperimentResult;
+use mitt_sim::Fnv1a;
+
+use crate::calibration::CalibrationStream;
+use crate::json::{escape, num3, JsonValue};
+use crate::replay::AuditStats;
+
+/// Schema identifier embedded in every report.
+pub const BENCH_SCHEMA: &str = "mitt-bench/v1";
+
+/// One strategy's latency and counter row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyRow {
+    /// Strategy label (`base`, `mittos`, `hedged`, ...).
+    pub name: String,
+    /// Completed user operations.
+    pub ops: u64,
+    /// EBUSY responses observed by clients.
+    pub ebusy: u64,
+    /// Retries (timeouts, failovers, hedges).
+    pub retries: u64,
+    /// Requests that surfaced an error.
+    pub errors: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Backoff-delayed retries.
+    pub backoff_retries: u64,
+    /// Median per-get latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile per-get latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile per-get latency, ms.
+    pub p99_ms: f64,
+}
+
+impl StrategyRow {
+    /// Builds a row from a cluster experiment result (`&mut` because the
+    /// latency recorder sorts lazily on the first percentile query).
+    pub fn from_result(name: &str, r: &mut ExperimentResult) -> Self {
+        let mut pct = |p: f64| {
+            if r.get_latencies.is_empty() {
+                0.0
+            } else {
+                r.get_latencies.percentile(p).as_millis_f64()
+            }
+        };
+        StrategyRow {
+            name: name.to_string(),
+            ops: r.ops,
+            ebusy: r.ebusy,
+            retries: r.retries,
+            errors: r.errors,
+            breaker_opens: r.breaker_opens,
+            backoff_retries: r.backoff_retries,
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+        }
+    }
+}
+
+/// One predictor's calibration row (Figure 9 quantities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRow {
+    /// Predictor label (`mittcfq`, `mittssd`, ... or an audit label).
+    pub predictor: String,
+    /// Classified predictions.
+    pub total: u64,
+    /// False positives, % of total.
+    pub fp_pct: f64,
+    /// False negatives, % of total.
+    pub fn_pct: f64,
+    /// FP% + FN%.
+    pub inaccuracy_pct: f64,
+    /// Mean |predicted − actual| error, ms.
+    pub mean_err_ms: f64,
+    /// Max |predicted − actual| error, ms.
+    pub max_err_ms: f64,
+}
+
+impl CalibrationRow {
+    /// Rows for every predictor a calibration stream observed.
+    pub fn from_stream(stream: &CalibrationStream) -> Vec<Self> {
+        stream
+            .stats()
+            .iter()
+            .map(|(name, s)| CalibrationRow {
+                predictor: (*name).to_string(),
+                total: s.total,
+                fp_pct: s.fp_pct(),
+                fn_pct: s.fn_pct(),
+                inaccuracy_pct: s.inaccuracy_pct(),
+                mean_err_ms: s.mean_err_ms(),
+                max_err_ms: s.max_err_ms(),
+            })
+            .collect()
+    }
+
+    /// A row from offline audit-pair classification.
+    pub fn from_audit(predictor: &str, s: &AuditStats) -> Self {
+        CalibrationRow {
+            predictor: predictor.to_string(),
+            total: s.total as u64,
+            fp_pct: s.fp_pct,
+            fn_pct: s.fn_pct,
+            inaccuracy_pct: s.inaccuracy_pct(),
+            mean_err_ms: s.mean_diff_ms,
+            max_err_ms: s.max_diff_ms,
+        }
+    }
+}
+
+/// A whole figure's machine-readable result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema identifier ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Figure label (`fig9`, `fig5`, ...).
+    pub fig: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Scale knob (ops count or trace seconds) so baselines are only
+    /// compared against runs of the same size.
+    pub scale: u64,
+    /// Per-strategy rows, in push order.
+    pub strategies: Vec<StrategyRow>,
+    /// Per-predictor calibration rows, in push order.
+    pub calibration: Vec<CalibrationRow>,
+}
+
+/// Regression thresholds for [`BenchReport::compare`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareThresholds {
+    /// Max allowed relative latency growth per percentile, in percent.
+    pub latency_pct: f64,
+    /// Max allowed absolute calibration degradation, in percentage points.
+    pub calibration_pp: f64,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        CompareThresholds {
+            latency_pct: 10.0,
+            calibration_pp: 1.0,
+        }
+    }
+}
+
+impl BenchReport {
+    /// An empty report for `fig` at `seed`/`scale`.
+    pub fn new(fig: &str, seed: u64, scale: u64) -> Self {
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            fig: fig.to_string(),
+            seed,
+            scale,
+            strategies: Vec::new(),
+            calibration: Vec::new(),
+        }
+    }
+
+    /// Serialises with fixed field order and fixed-point floats.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", escape(&self.schema)));
+        out.push_str(&format!("  \"fig\": {},\n", escape(&self.fig)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str("  \"strategies\": [\n");
+        for (i, s) in self.strategies.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"ops\": {}, \"ebusy\": {}, \"retries\": {}, \
+                 \"errors\": {}, \"breaker_opens\": {}, \"backoff_retries\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}{}\n",
+                escape(&s.name),
+                s.ops,
+                s.ebusy,
+                s.retries,
+                s.errors,
+                s.breaker_opens,
+                s.backoff_retries,
+                num3(s.p50_ms),
+                num3(s.p95_ms),
+                num3(s.p99_ms),
+                if i + 1 < self.strategies.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"calibration\": [\n");
+        for (i, c) in self.calibration.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"predictor\": {}, \"total\": {}, \"fp_pct\": {}, \"fn_pct\": {}, \
+                 \"inaccuracy_pct\": {}, \"mean_err_ms\": {}, \"max_err_ms\": {}}}{}\n",
+                escape(&c.predictor),
+                c.total,
+                num3(c.fp_pct),
+                num3(c.fn_pct),
+                num3(c.inaccuracy_pct),
+                num3(c.mean_err_ms),
+                num3(c.max_err_ms),
+                if i + 1 < self.calibration.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report; rejects unknown schemas and malformed documents.
+    pub fn parse(s: &str) -> Result<BenchReport, String> {
+        let v = JsonValue::parse(s)?;
+        let schema = str_field(&v, "schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!("unsupported schema '{schema}'"));
+        }
+        let mut report = BenchReport::new(&str_field(&v, "fig")?, 0, 0);
+        report.seed = num_field(&v, "seed")? as u64;
+        report.scale = num_field(&v, "scale")? as u64;
+        for row in v
+            .get("strategies")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing 'strategies' array")?
+        {
+            report.strategies.push(StrategyRow {
+                name: str_field(row, "name")?,
+                ops: num_field(row, "ops")? as u64,
+                ebusy: num_field(row, "ebusy")? as u64,
+                retries: num_field(row, "retries")? as u64,
+                errors: num_field(row, "errors")? as u64,
+                breaker_opens: num_field(row, "breaker_opens")? as u64,
+                backoff_retries: num_field(row, "backoff_retries")? as u64,
+                p50_ms: num_field(row, "p50_ms")?,
+                p95_ms: num_field(row, "p95_ms")?,
+                p99_ms: num_field(row, "p99_ms")?,
+            });
+        }
+        for row in v
+            .get("calibration")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing 'calibration' array")?
+        {
+            report.calibration.push(CalibrationRow {
+                predictor: str_field(row, "predictor")?,
+                total: num_field(row, "total")? as u64,
+                fp_pct: num_field(row, "fp_pct")?,
+                fn_pct: num_field(row, "fn_pct")?,
+                inaccuracy_pct: num_field(row, "inaccuracy_pct")?,
+                mean_err_ms: num_field(row, "mean_err_ms")?,
+                max_err_ms: num_field(row, "max_err_ms")?,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Compares `run` against `self` (the baseline); returns one line per
+    /// regression beyond the thresholds. Empty = pass.
+    pub fn compare(&self, run: &BenchReport, t: CompareThresholds) -> Vec<String> {
+        let mut regressions = Vec::new();
+        if self.fig != run.fig {
+            regressions.push(format!(
+                "figure mismatch: baseline '{}' vs run '{}'",
+                self.fig, run.fig
+            ));
+            return regressions;
+        }
+        if self.scale != run.scale {
+            regressions.push(format!(
+                "scale mismatch: baseline {} vs run {} (regenerate the baseline)",
+                self.scale, run.scale
+            ));
+            return regressions;
+        }
+        for base in &self.strategies {
+            let Some(cur) = run.strategies.iter().find(|s| s.name == base.name) else {
+                regressions.push(format!("strategy '{}' missing from run", base.name));
+                continue;
+            };
+            // A small absolute epsilon keeps sub-millisecond noise on
+            // near-zero percentiles from tripping the relative gate.
+            let lat = |label: &str, b: f64, r: f64| {
+                let limit = b * (1.0 + t.latency_pct / 100.0) + 0.01;
+                if r > limit {
+                    Some(format!(
+                        "{}: {} {:.3} ms exceeds baseline {:.3} ms (+{:.0}% threshold)",
+                        base.name, label, r, b, t.latency_pct
+                    ))
+                } else {
+                    None
+                }
+            };
+            regressions.extend(lat("p50", base.p50_ms, cur.p50_ms));
+            regressions.extend(lat("p95", base.p95_ms, cur.p95_ms));
+            regressions.extend(lat("p99", base.p99_ms, cur.p99_ms));
+            if cur.errors > base.errors {
+                regressions.push(format!(
+                    "{}: errors {} exceed baseline {}",
+                    base.name, cur.errors, base.errors
+                ));
+            }
+        }
+        for base in &self.calibration {
+            let Some(cur) = run
+                .calibration
+                .iter()
+                .find(|c| c.predictor == base.predictor)
+            else {
+                regressions.push(format!(
+                    "calibration row '{}' missing from run",
+                    base.predictor
+                ));
+                continue;
+            };
+            if cur.inaccuracy_pct > base.inaccuracy_pct + t.calibration_pp {
+                regressions.push(format!(
+                    "{}: inaccuracy {:.3}% exceeds baseline {:.3}% (+{:.1} pp threshold)",
+                    base.predictor, cur.inaccuracy_pct, base.inaccuracy_pct, t.calibration_pp
+                ));
+            }
+        }
+        regressions
+    }
+
+    /// Folds the whole report into a digest (format-independent).
+    pub fn fold_digest(&self, h: &mut Fnv1a) {
+        h.write_str(&self.schema);
+        h.write_str(&self.fig);
+        h.write_u64(self.seed);
+        h.write_u64(self.scale);
+        h.write_usize(self.strategies.len());
+        for s in &self.strategies {
+            h.write_str(&s.name);
+            h.write_u64(s.ops);
+            h.write_u64(s.ebusy);
+            h.write_u64(s.retries);
+            h.write_u64(s.errors);
+            h.write_u64(s.breaker_opens);
+            h.write_u64(s.backoff_retries);
+            h.write_u64(s.p50_ms.to_bits());
+            h.write_u64(s.p95_ms.to_bits());
+            h.write_u64(s.p99_ms.to_bits());
+        }
+        h.write_usize(self.calibration.len());
+        for c in &self.calibration {
+            h.write_str(&c.predictor);
+            h.write_u64(c.total);
+            h.write_u64(c.inaccuracy_pct.to_bits());
+        }
+    }
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn num_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("fig9", 42, 20);
+        r.strategies.push(StrategyRow {
+            name: "mittos".to_string(),
+            ops: 1000,
+            ebusy: 40,
+            retries: 41,
+            errors: 0,
+            breaker_opens: 0,
+            backoff_retries: 0,
+            p50_ms: 3.25,
+            p95_ms: 12.5,
+            p99_ms: 20.0,
+        });
+        r.calibration.push(CalibrationRow {
+            predictor: "mittcfq".to_string(),
+            total: 5000,
+            fp_pct: 0.4,
+            fn_pct: 0.3,
+            inaccuracy_pct: 0.7,
+            mean_err_ms: 1.2,
+            max_err_ms: 9.0,
+        });
+        r
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let r = sample();
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.fig, "fig9");
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.strategies.len(), 1);
+        assert_eq!(parsed.strategies[0].ebusy, 40);
+        assert!((parsed.calibration[0].inaccuracy_pct - 0.7).abs() < 1e-9);
+        // Serialisation is stable: round-tripping again is byte-identical.
+        assert_eq!(parsed.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn identical_reports_compare_clean() {
+        let r = sample();
+        assert!(r
+            .compare(&sample(), CompareThresholds::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn latency_and_calibration_regressions_are_caught() {
+        let base = sample();
+        let mut bad = sample();
+        bad.strategies[0].p95_ms = 20.0; // +60%
+        bad.calibration[0].inaccuracy_pct = 5.0; // +4.3 pp
+        let regs = base.compare(&bad, CompareThresholds::default());
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs[0].contains("p95"));
+        assert!(regs[1].contains("inaccuracy"));
+    }
+
+    #[test]
+    fn scale_mismatch_refuses_to_compare() {
+        let base = sample();
+        let mut other = sample();
+        other.scale = 99;
+        let regs = base.compare(&other, CompareThresholds::default());
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let doc = sample().to_json().replace("mitt-bench/v1", "mitt-bench/v0");
+        assert!(BenchReport::parse(&doc).is_err());
+    }
+}

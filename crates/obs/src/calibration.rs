@@ -1,0 +1,492 @@
+//! Streaming predictor-calibration telemetry (Figure 9, §7.6).
+//!
+//! [`CalibrationStream`] consumes a trace event stream and maintains, per
+//! predictor (`MittNoop`/`MittCfq`/`MittSsd`/`MittCache`), the Figure 9
+//! quantities — false positives (would-reject but met the deadline),
+//! false negatives (no reject but missed it), total inaccuracy — plus a
+//! power-of-two-bucketed histogram of |predicted − actual| error.
+//!
+//! The join is `Predict` → `Complete`, keyed by `(node, io)`; a `Reject`
+//! closes the join without an observable outcome (enforcing mode returns
+//! EBUSY before the IO runs). Classification recomputes the §4.1 rule
+//! `predicted_wait > deadline + hop` against a configurable deadline, the
+//! same way [`crate::replay::classify`] does for audit pairs — so on an
+//! audit-mode replay trace the two pipelines agree exactly.
+//!
+//! [`chrome_export_with_counters`] re-exports a sink's trace with
+//! synthesized Chrome/Perfetto counter tracks (`ph:"C"`): after each
+//! resolved prediction the predictor's running inaccuracy count and the
+//! sample's error are appended at the same virtual timestamp. Being a
+//! pure fold over the recorded events, the export stays byte-identical
+//! across same-seed runs.
+
+use std::collections::BTreeMap;
+
+use mitt_sim::{Duration, Fnv1a};
+use mitt_trace::metrics::bound_label;
+use mitt_trace::{EventKind, Histogram, Subsystem, TraceEvent, TraceSink, DEFAULT_BOUNDS_NS};
+
+/// How the stream classifies each resolved prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationConfig {
+    /// Network allowance added to the deadline (§4.1's hop).
+    pub hop: Duration,
+    /// Classify against this deadline instead of the one recorded on the
+    /// `Predict` event (Figure 9 classifies at the workload's p95, not
+    /// the replay's placeholder deadline).
+    pub deadline_override: Option<Duration>,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            hop: mittos::DEFAULT_HOP,
+            deadline_override: None,
+        }
+    }
+}
+
+/// Running Figure 9 counters for one predictor.
+#[derive(Debug, Clone)]
+pub struct PredictorStats {
+    /// Predictions resolved by a completion.
+    pub total: u64,
+    /// Predictions closed by an EBUSY (no observable outcome).
+    pub rejected: u64,
+    /// False positives: would-reject, met the deadline.
+    pub false_pos: u64,
+    /// False negatives: admitted, missed the deadline.
+    pub false_neg: u64,
+    /// |predicted − actual| error, pow2-bucketed (ns).
+    pub error_hist: Histogram,
+    /// Max |predicted − actual| error, ns.
+    pub err_max_ns: u64,
+}
+
+impl Default for PredictorStats {
+    fn default() -> Self {
+        PredictorStats {
+            total: 0,
+            rejected: 0,
+            false_pos: 0,
+            false_neg: 0,
+            error_hist: Histogram::new(&DEFAULT_BOUNDS_NS),
+            err_max_ns: 0,
+        }
+    }
+}
+
+impl PredictorStats {
+    /// False positives as % of resolved predictions.
+    pub fn fp_pct(&self) -> f64 {
+        100.0 * self.false_pos as f64 / self.total.max(1) as f64
+    }
+
+    /// False negatives as % of resolved predictions.
+    pub fn fn_pct(&self) -> f64 {
+        100.0 * self.false_neg as f64 / self.total.max(1) as f64
+    }
+
+    /// FP% + FN% — the paper's inaccuracy metric.
+    pub fn inaccuracy_pct(&self) -> f64 {
+        self.fp_pct() + self.fn_pct()
+    }
+
+    /// Mean |predicted − actual| error in ms over resolved predictions.
+    pub fn mean_err_ms(&self) -> f64 {
+        self.error_hist.mean() / 1e6
+    }
+
+    /// Max |predicted − actual| error in ms.
+    pub fn max_err_ms(&self) -> f64 {
+        self.err_max_ns as f64 / 1e6
+    }
+
+    /// Folds the counters and histogram into a digest.
+    pub fn fold(&self, h: &mut Fnv1a) {
+        h.write_u64(self.total);
+        h.write_u64(self.rejected);
+        h.write_u64(self.false_pos);
+        h.write_u64(self.false_neg);
+        h.write_u64(self.err_max_ns);
+        self.error_hist.fold(h);
+    }
+}
+
+/// One open `Predict` awaiting its `Complete`.
+#[derive(Debug, Clone, Copy)]
+struct OpenPrediction {
+    sub: Subsystem,
+    predicted: Duration,
+    deadline: Duration,
+}
+
+/// Streaming per-predictor calibration over a trace event stream.
+#[derive(Debug, Clone)]
+pub struct CalibrationStream {
+    cfg: CalibrationConfig,
+    open: BTreeMap<(u32, u64), OpenPrediction>,
+    stats: BTreeMap<&'static str, PredictorStats>,
+}
+
+/// What [`CalibrationStream::on_event`] did with one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolved {
+    /// The event did not resolve a prediction.
+    None,
+    /// A prediction was resolved; payload for counter-track synthesis.
+    Sample {
+        /// The predictor that made the prediction.
+        sub: Subsystem,
+        /// |predicted − actual| for this sample, ns.
+        err_ns: u64,
+        /// The predictor's cumulative FP+FN count after this sample.
+        inaccurate: u64,
+    },
+}
+
+impl CalibrationStream {
+    /// An empty stream classifying with `cfg`.
+    pub fn new(cfg: CalibrationConfig) -> Self {
+        CalibrationStream {
+            cfg,
+            open: BTreeMap::new(),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one event; reports whether it resolved a prediction.
+    pub fn on_event(&mut self, ev: &TraceEvent) -> Resolved {
+        match ev.kind {
+            EventKind::Predict {
+                io,
+                predicted_wait,
+                deadline: Some(d),
+                ..
+            } if is_predictor(ev.subsystem) => {
+                self.open.insert(
+                    (ev.node, io),
+                    OpenPrediction {
+                        sub: ev.subsystem,
+                        predicted: predicted_wait,
+                        deadline: d,
+                    },
+                );
+                Resolved::None
+            }
+            EventKind::Reject { io, .. } => {
+                if let Some(open) = self.open.remove(&(ev.node, io)) {
+                    self.stats_mut(open.sub).rejected += 1;
+                }
+                Resolved::None
+            }
+            EventKind::Complete { io, wait } if ev.subsystem == Subsystem::Node => {
+                let Some(open) = self.open.remove(&(ev.node, io)) else {
+                    return Resolved::None;
+                };
+                let bound = self.cfg.deadline_override.unwrap_or(open.deadline) + self.cfg.hop;
+                let would_reject = open.predicted > bound;
+                let violates = wait > bound;
+                let err = if wait > open.predicted {
+                    wait - open.predicted
+                } else {
+                    open.predicted - wait
+                };
+                let s = self.stats_mut(open.sub);
+                s.total += 1;
+                if would_reject && !violates {
+                    s.false_pos += 1;
+                } else if !would_reject && violates {
+                    s.false_neg += 1;
+                }
+                s.error_hist.observe(err.as_nanos());
+                s.err_max_ns = s.err_max_ns.max(err.as_nanos());
+                Resolved::Sample {
+                    sub: open.sub,
+                    err_ns: err.as_nanos(),
+                    inaccurate: s.false_pos + s.false_neg,
+                }
+            }
+            _ => Resolved::None,
+        }
+    }
+
+    /// Feeds a whole event slice.
+    pub fn ingest(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.on_event(ev);
+        }
+    }
+
+    /// Builds a stream over everything a sink recorded.
+    pub fn from_sink(sink: &TraceSink, cfg: CalibrationConfig) -> Self {
+        let mut s = CalibrationStream::new(cfg);
+        s.ingest(&sink.events());
+        s
+    }
+
+    /// Per-predictor stats, keyed by predictor name, in stable order.
+    pub fn stats(&self) -> &BTreeMap<&'static str, PredictorStats> {
+        &self.stats
+    }
+
+    /// Stats for one predictor, if it made any classified prediction.
+    pub fn predictor(&self, sub: Subsystem) -> Option<&PredictorStats> {
+        self.stats.get(sub.name())
+    }
+
+    /// Predictions still waiting for a completion (in-flight at trace end).
+    pub fn unresolved(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Folds every predictor's stats into a digest, in name order.
+    pub fn fold_digest(&self, h: &mut Fnv1a) {
+        h.write_usize(self.stats.len());
+        for (name, s) in &self.stats {
+            h.write_str(name);
+            s.fold(h);
+        }
+    }
+
+    /// Figure 9-style rendering for run reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("predictor calibration (figure 9):\n");
+        if self.stats.is_empty() {
+            out.push_str("  (no deadline-carrying predictions recorded)\n");
+            return out;
+        }
+        for (name, s) in &self.stats {
+            out.push_str(&format!(
+                "  {:<10} total {:>7}  rejected {:>6}  FP {:.3}%  FN {:.3}%  \
+                 inaccuracy {:.3}%  mean err {:.3} ms  max err {:.3} ms\n",
+                name,
+                s.total,
+                s.rejected,
+                s.fp_pct(),
+                s.fn_pct(),
+                s.inaccuracy_pct(),
+                s.mean_err_ms(),
+                s.max_err_ms()
+            ));
+        }
+        // One non-empty error bucket line per predictor keeps the report
+        // short but shows the error distribution's shape.
+        for (name, s) in &self.stats {
+            let mut line = format!("  {name} err buckets:");
+            for (bound, count) in s.error_hist.buckets() {
+                if count > 0 {
+                    line.push_str(&format!(" {}:{count}", bound_label(bound)));
+                }
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+        out
+    }
+
+    fn stats_mut(&mut self, sub: Subsystem) -> &mut PredictorStats {
+        self.stats.entry(sub.name()).or_default()
+    }
+}
+
+/// True for the four SLO predictors whose `Predict` events are audited.
+fn is_predictor(sub: Subsystem) -> bool {
+    matches!(
+        sub,
+        Subsystem::MittNoop | Subsystem::MittCfq | Subsystem::MittSsd | Subsystem::MittCache
+    )
+}
+
+/// Counter-track name for a predictor's cumulative FP+FN count.
+const fn inaccuracy_track(sub: Subsystem) -> &'static str {
+    match sub {
+        Subsystem::MittNoop => "mittnoop.inaccurate",
+        Subsystem::MittCfq => "mittcfq.inaccurate",
+        Subsystem::MittSsd => "mittssd.inaccurate",
+        _ => "mittcache.inaccurate",
+    }
+}
+
+/// Counter-track name for a predictor's per-sample |pred − actual| error.
+const fn error_track(sub: Subsystem) -> &'static str {
+    match sub {
+        Subsystem::MittNoop => "mittnoop.err_us",
+        Subsystem::MittCfq => "mittcfq.err_us",
+        Subsystem::MittSsd => "mittssd.err_us",
+        _ => "mittcache.err_us",
+    }
+}
+
+/// Chrome-trace export with calibration counter tracks interleaved: every
+/// resolved prediction appends two `ph:"C"` samples (cumulative
+/// inaccuracy count, per-sample error in µs) at the completion's virtual
+/// timestamp. Derived purely from the recorded events, so the JSON is
+/// byte-identical across same-seed runs.
+pub fn chrome_export_with_counters(sink: &TraceSink, cfg: CalibrationConfig) -> String {
+    let events = sink.events();
+    let mut stream = CalibrationStream::new(cfg);
+    let mut merged: Vec<TraceEvent> = Vec::with_capacity(events.len());
+    for ev in events {
+        merged.push(ev);
+        if let Resolved::Sample {
+            sub,
+            err_ns,
+            inaccurate,
+        } = stream.on_event(&ev)
+        {
+            merged.push(TraceEvent {
+                at: ev.at,
+                node: ev.node,
+                subsystem: sub,
+                kind: EventKind::Counter {
+                    name: inaccuracy_track(sub),
+                    value: inaccurate,
+                },
+            });
+            merged.push(TraceEvent {
+                at: ev.at,
+                node: ev.node,
+                subsystem: sub,
+                kind: EventKind::Counter {
+                    name: error_track(sub),
+                    value: err_ns / 1_000,
+                },
+            });
+        }
+    }
+    mitt_trace::chrome::export(merged.into_iter(), sink.dropped())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{classify, p95_wait, replay_audit_traced, REPLAY_RING};
+    use mitt_cluster::node::{Medium, NodeConfig};
+    use mitt_faults::FaultPlan;
+    use mitt_sim::{SimRng, SimTime};
+    use mitt_workload::TraceSpec;
+
+    fn ev(sub: Subsystem, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(1),
+            node: 0,
+            subsystem: sub,
+            kind,
+        }
+    }
+
+    #[test]
+    fn stream_classifies_the_four_quadrants() {
+        let d = Duration::from_millis(10);
+        let cfg = CalibrationConfig {
+            hop: Duration::ZERO,
+            deadline_override: None,
+        };
+        let mut s = CalibrationStream::new(cfg);
+        // (predicted ms, actual ms): TP, TN, FP, FN.
+        for (i, (p, a)) in [(20, 20), (1, 1), (20, 1), (1, 20)].iter().enumerate() {
+            s.on_event(&ev(
+                Subsystem::MittCfq,
+                EventKind::Predict {
+                    io: i as u64,
+                    predicted_wait: Duration::from_millis(*p),
+                    deadline: Some(d),
+                    admitted: true,
+                },
+            ));
+            s.on_event(&ev(
+                Subsystem::Node,
+                EventKind::Complete {
+                    io: i as u64,
+                    wait: Duration::from_millis(*a),
+                },
+            ));
+        }
+        let st = s.predictor(Subsystem::MittCfq).unwrap();
+        assert_eq!(st.total, 4);
+        assert_eq!(st.false_pos, 1);
+        assert_eq!(st.false_neg, 1);
+        assert!((st.inaccuracy_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_close_the_join_without_classification() {
+        let mut s = CalibrationStream::new(CalibrationConfig::default());
+        s.on_event(&ev(
+            Subsystem::MittSsd,
+            EventKind::Predict {
+                io: 9,
+                predicted_wait: Duration::from_millis(50),
+                deadline: Some(Duration::from_millis(1)),
+                admitted: false,
+            },
+        ));
+        s.on_event(&ev(
+            Subsystem::Node,
+            EventKind::Reject {
+                io: 9,
+                predicted_wait: Duration::from_millis(50),
+            },
+        ));
+        let st = s.predictor(Subsystem::MittSsd).unwrap();
+        assert_eq!(st.rejected, 1);
+        assert_eq!(st.total, 0);
+        assert_eq!(s.unresolved(), 0);
+    }
+
+    #[test]
+    fn stream_agrees_with_audit_pair_classification_on_a_replay() {
+        let spec = TraceSpec::tpcc();
+        let mut rng = SimRng::new(1);
+        let trace = spec.generate(Duration::from_secs(10), &mut rng);
+        let out = replay_audit_traced(
+            NodeConfig::disk_cfq(),
+            Medium::Disk,
+            &trace,
+            1.0,
+            2,
+            FaultPlan::new(),
+            REPLAY_RING,
+        );
+        assert_eq!(out.trace.dropped(), 0);
+        let deadline = p95_wait(&out.pairs);
+        let stats = classify(&out.pairs, deadline, mittos::DEFAULT_HOP);
+        let stream = CalibrationStream::from_sink(
+            &out.trace,
+            CalibrationConfig {
+                hop: mittos::DEFAULT_HOP,
+                deadline_override: Some(deadline),
+            },
+        );
+        let st = stream.predictor(Subsystem::MittCfq).unwrap();
+        assert_eq!(st.total as usize, stats.total, "pair/event count mismatch");
+        assert_eq!(st.false_pos as usize, stats.fp_count);
+        assert_eq!(st.false_neg as usize, stats.fn_count);
+    }
+
+    #[test]
+    fn counter_export_is_deterministic_and_has_counter_tracks() {
+        let spec = TraceSpec::dtrs();
+        let run = || {
+            let mut rng = SimRng::new(5);
+            let trace = spec.generate(Duration::from_secs(3), &mut rng);
+            let out = replay_audit_traced(
+                NodeConfig::ssd(),
+                Medium::Ssd,
+                &trace,
+                4.0,
+                6,
+                FaultPlan::new(),
+                REPLAY_RING,
+            );
+            chrome_export_with_counters(&out.trace, CalibrationConfig::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "counter export must be byte-identical");
+        assert!(a.contains("\"ph\":\"C\""), "no counter track in export");
+        assert!(a.contains("mittssd.inaccurate"));
+    }
+}

@@ -24,6 +24,7 @@ fn push_event(out: &mut String, ev: &TraceEvent) {
     let ph = match ev.kind {
         EventKind::SpanBegin { .. } => "B",
         EventKind::SpanEnd { .. } => "E",
+        EventKind::Counter { .. } => "C",
         _ => "i",
     };
     let _ = write!(
@@ -89,6 +90,33 @@ fn push_event(out: &mut String, ev: &TraceEvent) {
         }
         EventKind::FaultStart { fault, name } | EventKind::FaultEnd { fault, name } => {
             let _ = write!(out, "\"fault\":{fault},\"kind\":\"{name}\"");
+        }
+        EventKind::Attribution {
+            io,
+            resource,
+            predicted_wait,
+            detail,
+        } => {
+            let _ = write!(
+                out,
+                "\"io\":{io},\"resource\":\"{}\",\"predicted_wait_ns\":{},\"detail\":{detail}",
+                resource.name(),
+                predicted_wait.as_nanos()
+            );
+        }
+        EventKind::NetHop {
+            node,
+            delay,
+            faulted,
+        } => {
+            let _ = write!(
+                out,
+                "\"node\":{node},\"delay_ns\":{},\"faulted\":{faulted}",
+                delay.as_nanos()
+            );
+        }
+        EventKind::Counter { value, .. } => {
+            let _ = write!(out, "\"value\":{value}");
         }
     }
     out.push_str("}}");
@@ -171,6 +199,33 @@ mod tests {
         assert!(json.contains("\"predicted_wait_ns\":3000000"));
         assert!(json.contains("\"deadline_ns\":15000000"));
         assert!(json.contains("\"ts\":1300.000"));
+    }
+
+    #[test]
+    fn counter_events_render_as_counter_tracks() {
+        let json = export(
+            [TraceEvent {
+                at: SimTime::from_nanos(5_000),
+                node: 0,
+                subsystem: Subsystem::MittCfq,
+                kind: EventKind::Counter {
+                    name: "mittcfq.inaccuracy",
+                    value: 3,
+                },
+            }]
+            .into_iter(),
+            0,
+        );
+        assert!(
+            json.contains("\"ph\":\"C\""),
+            "missing counter phase: {json}"
+        );
+        assert!(json.contains("\"name\":\"mittcfq.inaccuracy\""));
+        assert!(json.contains("\"value\":3"));
+        assert!(
+            !json.contains("\"s\":\"t\""),
+            "counter events must not carry instant scope: {json}"
+        );
     }
 
     #[test]

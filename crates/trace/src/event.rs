@@ -111,6 +111,84 @@ impl Subsystem {
     ];
 }
 
+/// The resource a rejection, miss, failover, or hedge is blamed on.
+///
+/// Attribution answers the question mitt-trace alone leaves open: *which*
+/// layer of the stack made (or should have made) this IO miss its SLO. The
+/// taxonomy mirrors the predictor stack — one variant per §4 prediction
+/// source — plus the cluster-side causes (network, faults, breakers) that
+/// the OS never sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resource {
+    /// The CFQ scheduler's queue depth (MittCFQ's predicted wait).
+    CfqQueue,
+    /// The noop scheduler's `T_nextFree` drain estimate (MittNoop).
+    NoopNextFree,
+    /// An SSD chip/channel conflict (MittSSD's per-chip wait).
+    SsdChannel,
+    /// A page-cache contention miss (MittCache residency-expectation EBUSY).
+    CacheMiss,
+    /// A network hop (hedge triggers, retransmit delay).
+    NetHop,
+    /// An active fault-injection window (crash, fail-slow, bias, ...).
+    FaultWindow,
+    /// A circuit breaker held open by the client-side resilience policy.
+    Breaker,
+}
+
+impl Resource {
+    /// Stable numeric code, folded into digests.
+    pub const fn code(self) -> u64 {
+        match self {
+            Resource::CfqQueue => 0,
+            Resource::NoopNextFree => 1,
+            Resource::SsdChannel => 2,
+            Resource::CacheMiss => 3,
+            Resource::NetHop => 4,
+            Resource::FaultWindow => 5,
+            Resource::Breaker => 6,
+        }
+    }
+
+    /// Lower-case name, used in Chrome args and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Resource::CfqQueue => "cfq_queue",
+            Resource::NoopNextFree => "noop_next_free",
+            Resource::SsdChannel => "ssd_channel",
+            Resource::CacheMiss => "cache_miss",
+            Resource::NetHop => "net_hop",
+            Resource::FaultWindow => "fault_window",
+            Resource::Breaker => "breaker",
+        }
+    }
+
+    /// Metrics-registry counter bumped once per attribution of this
+    /// resource.
+    pub const fn counter(self) -> &'static str {
+        match self {
+            Resource::CfqQueue => "attr.cfq_queue",
+            Resource::NoopNextFree => "attr.noop_next_free",
+            Resource::SsdChannel => "attr.ssd_channel",
+            Resource::CacheMiss => "attr.cache_miss",
+            Resource::NetHop => "attr.net_hop",
+            Resource::FaultWindow => "attr.fault_window",
+            Resource::Breaker => "attr.breaker",
+        }
+    }
+
+    /// All resources, in `code()` order (for report iteration).
+    pub const ALL: [Resource; 7] = [
+        Resource::CfqQueue,
+        Resource::NoopNextFree,
+        Resource::SsdChannel,
+        Resource::CacheMiss,
+        Resource::NetHop,
+        Resource::FaultWindow,
+        Resource::Breaker,
+    ];
+}
+
 /// What happened. Typed payloads for the hot-path lifecycle events, plus
 /// generic span begin/end and instants for everything else.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +291,41 @@ pub enum EventKind {
         /// Fault-kind label; matches the start event.
         name: &'static str,
     },
+    /// SLO attribution: a Reject/miss/failover/hedge blamed on a resource.
+    ///
+    /// Emitted immediately after the event it explains (node-level Rejects,
+    /// cluster-level Busy/Crashed replies, breaker skips, hedge fires), so
+    /// consumers can pair them by ring order.
+    Attribution {
+        /// IO id at node level; operation id at cluster level.
+        io: u64,
+        /// The resource held responsible.
+        resource: Resource,
+        /// Predicted wait behind the decision (`Duration::MAX` when no
+        /// prediction was involved, e.g. cache EBUSY or crash detection).
+        predicted_wait: Duration,
+        /// Resource-specific detail: queue depth for [`Resource::CfqQueue`],
+        /// in-flight count for [`Resource::SsdChannel`], refill-page count
+        /// for [`Resource::CacheMiss`], replica id at cluster level.
+        detail: u64,
+    },
+    /// A message traversed one network hop (client→node or node→client).
+    NetHop {
+        /// Destination (or origin) replica of the hop.
+        node: u32,
+        /// Total delay charged for the hop, including fault-injected extra
+        /// delay and retransmits.
+        delay: Duration,
+        /// True when an active fault window stretched or dropped the hop.
+        faulted: bool,
+    },
+    /// A sampled counter value (rendered as a Chrome `"C"` counter track).
+    Counter {
+        /// Counter-track name (static so recording never allocates).
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
 }
 
 impl EventKind {
@@ -232,6 +345,9 @@ impl EventKind {
             EventKind::Mark { name, .. } => name,
             EventKind::FaultStart { .. } => "fault_start",
             EventKind::FaultEnd { .. } => "fault_end",
+            EventKind::Attribution { .. } => "attr",
+            EventKind::NetHop { .. } => "net_hop",
+            EventKind::Counter { name, .. } => name,
         }
     }
 
@@ -316,6 +432,33 @@ impl EventKind {
                 h.write_u64(fault);
                 h.write_str(name);
             }
+            EventKind::Attribution {
+                io,
+                resource,
+                predicted_wait,
+                detail,
+            } => {
+                h.write_u64(13);
+                h.write_u64(io);
+                h.write_u64(resource.code());
+                h.write_u64(predicted_wait.as_nanos());
+                h.write_u64(detail);
+            }
+            EventKind::NetHop {
+                node,
+                delay,
+                faulted,
+            } => {
+                h.write_u64(14);
+                h.write_u64(u64::from(node));
+                h.write_u64(delay.as_nanos());
+                h.write_u64(u64::from(faulted));
+            }
+            EventKind::Counter { name, value } => {
+                h.write_u64(15);
+                h.write_str(name);
+                h.write_u64(value);
+            }
         }
     }
 }
@@ -352,6 +495,15 @@ mod tests {
     fn subsystem_codes_are_distinct_and_ordered() {
         for (i, s) in Subsystem::ALL.iter().enumerate() {
             assert_eq!(s.code(), i as u64);
+        }
+    }
+
+    #[test]
+    fn resource_codes_are_distinct_and_ordered() {
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            assert_eq!(r.code(), i as u64);
+            assert!(r.counter().starts_with("attr."));
+            assert!(r.counter().ends_with(r.name()));
         }
     }
 

@@ -35,7 +35,7 @@ pub mod event;
 pub mod metrics;
 pub mod report;
 
-pub use event::{EventKind, Subsystem, TraceEvent, CLUSTER_NODE};
+pub use event::{EventKind, Resource, Subsystem, TraceEvent, CLUSTER_NODE};
 pub use metrics::{Histogram, MetricsRegistry, DEFAULT_BOUNDS_NS};
 
 /// Default ring capacity used by [`TraceSink::enabled`]'s convenience

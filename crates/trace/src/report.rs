@@ -10,11 +10,20 @@ use core::fmt::Write as _;
 
 use mitt_sim::Duration;
 
-use crate::event::{Subsystem, CLUSTER_NODE};
+use crate::event::{Resource, Subsystem, CLUSTER_NODE};
 use crate::metrics::{bound_label, MetricsRegistry};
 
 /// Histogram name the node layer records prediction error into.
 pub const PREDICT_ERROR_HIST: &str = "predict.error_ns";
+
+/// Counter name for per-node network hops (bumped once per message leg).
+pub const NET_HOP_COUNTER: &str = "net.hop";
+
+/// Histogram name for per-hop network delay samples.
+pub const NET_HOP_HIST: &str = "net.hop_ns";
+
+/// Counter name for hops stretched or retransmitted by a fault window.
+pub const NET_HOP_FAULTED_COUNTER: &str = "net.hop_faulted";
 
 /// Counter name for per-node submitted IOs.
 pub const SUBMIT_COUNTER: &str = "node.submit";
@@ -105,6 +114,33 @@ pub fn render(recorded: u64, dropped: u64, metrics: &MetricsRegistry) -> String 
         }
     }
 
+    let mut attributions: Vec<(&'static str, u64)> = Vec::new();
+    for res in Resource::ALL {
+        let count = metrics.counter_total(res.counter());
+        if count > 0 {
+            attributions.push((res.name(), count));
+        }
+    }
+    if !attributions.is_empty() {
+        let _ = writeln!(out, "slo attribution (rejects/misses by resource):");
+        attributions.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, count) in attributions {
+            let _ = writeln!(out, "  {name:<16} {count:>8}");
+        }
+    }
+
+    let hops = metrics.counter_total(NET_HOP_COUNTER);
+    if hops > 0 {
+        let faulted = metrics.counter_total(NET_HOP_FAULTED_COUNTER);
+        let mean = metrics
+            .histogram(NET_HOP_HIST)
+            .map_or(Duration::ZERO, |h| Duration::from_nanos(h.mean() as u64));
+        let _ = writeln!(
+            out,
+            "network: {hops} hops ({faulted} faulted), mean delay {mean}"
+        );
+    }
+
     let failovers = metrics.counter_total("cluster.failover");
     let hedges = metrics.counter_total("cluster.hedge");
     let cache_hits = metrics.counter_total(CACHE_HIT_COUNTER);
@@ -141,6 +177,21 @@ mod tests {
         assert!(text.contains("prediction error"));
         assert!(text.contains("2 samples"));
         assert!(text.contains("4 failovers"));
+    }
+
+    #[test]
+    fn report_covers_attribution_and_network_lines() {
+        let mut m = MetricsRegistry::new();
+        m.add(Resource::CfqQueue.counter(), 0, 7);
+        m.add(Resource::FaultWindow.counter(), 1, 2);
+        m.add(NET_HOP_COUNTER, 0, 100);
+        m.add(NET_HOP_FAULTED_COUNTER, 0, 5);
+        m.observe(NET_HOP_HIST, 20_000);
+        let text = render(10, 0, &m);
+        assert!(text.contains("slo attribution"));
+        assert!(text.contains("cfq_queue"));
+        assert!(text.contains("fault_window"));
+        assert!(text.contains("100 hops (5 faulted)"));
     }
 
     #[test]

@@ -3,14 +3,17 @@
 //! Runs the 3-replica rotating-contention microbenchmark with
 //! `ExperimentConfig::trace` enabled, prints the latency summary and the
 //! per-run trace report (rejections by subsystem, per-node EBUSY rates,
-//! prediction-error histogram), and exports the event ring as Chrome
-//! `trace_event` JSON — open it at `chrome://tracing` or
+//! prediction-error histogram), prints the SLO-attribution summary, and
+//! exports the event ring as Chrome `trace_event` JSON — with per-predictor
+//! calibration counter tracks merged in — open it at `chrome://tracing` or
 //! <https://ui.perfetto.dev>.
 //!
 //! Run with: `cargo run --release --example trace_run [out.json]`
 //! (default output path: `trace_run.json`)
 
 use mitt_bench::print_trace_report;
+use mitt_obs::attribution::AttributionSummary;
+use mitt_obs::calibration::{chrome_export_with_counters, CalibrationConfig};
 use mittos_repro::cluster::{
     run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
 };
@@ -57,7 +60,10 @@ fn main() {
 
     print_trace_report("trace report", &res.trace);
 
-    let json = res.trace.export_chrome_json();
+    let attribution = AttributionSummary::from_sink(&res.trace, mittos::DEFAULT_HOP);
+    println!("\n{}", attribution.render());
+
+    let json = chrome_export_with_counters(&res.trace, CalibrationConfig::default());
     std::fs::write(&out_path, &json).expect("write trace JSON");
     println!(
         "\nwrote {} events ({} bytes) to {out_path}",

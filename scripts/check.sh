@@ -35,15 +35,26 @@ cargo test -q -p mitt-trace
 echo "== trace_run smoke (Chrome trace export)"
 trace_out="$(mktemp /tmp/trace_run.XXXXXX.json)"
 faults_out=""
-trap 'rm -f "$trace_out" "$faults_out"' EXIT
+bench_out=""
+trap 'rm -f "$trace_out" "$faults_out" "$bench_out"' EXIT
 cargo run --quiet --release --example trace_run -- "$trace_out" >/dev/null
 if command -v jq >/dev/null 2>&1; then
     jq -e '.traceEvents | length > 0' "$trace_out" >/dev/null
+    # mitt-obs: the export must carry calibration counter tracks (ph "C")
+    # and the per-hop network events from the cluster sim.
+    jq -e '[.traceEvents[] | select(.ph == "C")] | length > 0' "$trace_out" >/dev/null
+    jq -e '[.traceEvents[] | select(.name == "net_hop")] | length > 0' "$trace_out" >/dev/null
 else
     # No jq (e.g. minimal containers): settle for python's JSON parser.
-    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents']" "$trace_out"
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['traceEvents']
+assert any(e.get('ph') == 'C' for e in d['traceEvents']), 'no counter tracks'
+assert any(e.get('name') == 'net_hop' for e in d['traceEvents']), 'no net_hop events'
+" "$trace_out"
 fi
-echo "   exported trace is well-formed JSON with events"
+echo "   exported trace is well-formed JSON with counters and net hops"
 
 echo "== fig_faults smoke (fault injection)"
 # A short faulted sweep: must complete without panics and actually inject.
@@ -57,5 +68,41 @@ if [ -z "$injected" ] || [ "$injected" -eq 0 ]; then
     exit 1
 fi
 echo "   injected $injected faults, zero panics"
+
+echo "== fig9 bench-json gate (machine-readable baseline)"
+# A short deterministic fig9 run writes BENCH_fig9.json; the committed
+# baseline (generated at the same MITT_OPS scale) gates regressions in
+# latency and predictor calibration. First run commits the baseline.
+bench_out="$(mktemp /tmp/BENCH_fig9.XXXXXX.json)"
+bench_baseline="baselines/BENCH_fig9.json"
+if [ -f "$bench_baseline" ]; then
+    MITT_OPS=8 cargo run --quiet --release -p mitt-bench --bin fig9 -- \
+        --quiet --bench-json "$bench_out" --baseline "$bench_baseline" >/dev/null
+    echo "   report matches $bench_baseline within thresholds"
+else
+    MITT_OPS=8 cargo run --quiet --release -p mitt-bench --bin fig9 -- \
+        --quiet --bench-json "$bench_out" >/dev/null
+    mkdir -p baselines
+    cp "$bench_out" "$bench_baseline"
+    echo "   no baseline found; committed $bench_baseline (check it in)"
+fi
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "mitt-bench/v1"
+        and (.strategies | length >= 2)
+        and (.strategies | all(.p95_ms >= 0 and .p99_ms >= .p50_ms))
+        and (.calibration | length > 0)
+        and (.calibration | any(.predictor | test("^mitt(cfq|ssd)")))
+    ' "$bench_out" >/dev/null
+else
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['schema'] == 'mitt-bench/v1'
+assert len(d['strategies']) >= 2 and len(d['calibration']) > 0
+assert all(s['p99_ms'] >= s['p50_ms'] >= 0 for s in d['strategies'])
+" "$bench_out"
+fi
+echo "   bench report conforms to the mitt-bench/v1 schema"
 
 echo "ok: all checks passed"

@@ -1,8 +1,8 @@
 //! Prediction-accuracy integration tests (the Figure 9 pipeline) plus
 //! profiler quality checks across the full stack.
 
-use mitt_bench::{classify, p95_wait, replay_audit};
 use mittos_repro::cluster::{Medium, NodeConfig};
+use mittos_repro::obs::{classify, p95_wait, replay_audit};
 use mittos_repro::sim::{Duration, SimRng};
 use mittos_repro::workload::TraceSpec;
 
@@ -122,7 +122,7 @@ fn profiled_model_tracks_device_through_calibration() {
 /// predictors over the same IO stream.
 #[test]
 fn naive_ablation_is_much_worse() {
-    use mitt_bench::replay_audit_with_ablation;
+    use mittos_repro::obs::replay_audit_with_ablation;
     // Disk: the size-blind constant-service model degrades most on the
     // large-IO trace.
     let spec = TraceSpec::lmbe();

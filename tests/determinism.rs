@@ -18,6 +18,7 @@ use mittos_repro::cluster::{
 use mittos_repro::device::IoClass;
 use mittos_repro::faults::{FaultPlan, ResilienceConfig};
 use mittos_repro::lsm::LsmConfig;
+use mittos_repro::obs::attribution::AttributionSummary;
 use mittos_repro::sim::digest::{double_run, Fnv1a};
 use mittos_repro::sim::{Duration, SimTime};
 use mittos_repro::workload::rotating_schedule;
@@ -105,6 +106,9 @@ fn fold_result(h: &mut Fnv1a, res: &ExperimentResult) {
     h.write_u64_slice(&completions);
     res.trace.fold_digest(h);
     h.write_str(&res.trace.export_chrome_json());
+    // The derived SLO-attribution summary is an observable output too: if
+    // event order ever wobbles, the per-resource blame counts wobble with it.
+    AttributionSummary::from_sink(&res.trace, mittos_repro::os::DEFAULT_HOP).fold_digest(h);
 }
 
 #[test]
@@ -247,6 +251,10 @@ fn faulted_trace_is_byte_identical_and_marks_faults() {
     assert!(
         json_a.contains("fault_start") && json_a.contains("fault_end"),
         "fault activations must appear in the exported trace"
+    );
+    assert!(
+        json_a.contains("\"net_hop\""),
+        "per-hop network events must appear in the exported trace"
     );
     assert_eq!(json_a, json_b, "faulted Chrome traces differ between runs");
     assert_eq!(

@@ -1,0 +1,177 @@
+//! Observability integration tests (`mitt-obs` over the full stack):
+//! SLO-attribution invariants on traced cluster runs, calibration
+//! telemetry vs the audit-mode classifier, and the machine-readable
+//! bench-report round trip with its regression gate.
+
+use mittos_repro::cluster::{
+    run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
+};
+use mittos_repro::device::IoClass;
+use mittos_repro::faults::FaultPlan;
+use mittos_repro::obs::attribution::AttributionSummary;
+use mittos_repro::obs::calibration::{CalibrationConfig, CalibrationStream};
+use mittos_repro::obs::{
+    verify_attribution_invariants, BenchReport, CalibrationRow, CompareThresholds, StrategyRow,
+};
+use mittos_repro::sim::{Duration, SimTime};
+use mittos_repro::trace::EventKind;
+use mittos_repro::workload::rotating_schedule;
+
+/// A contended traced MittOS cluster that generates plenty of rejections.
+fn traced_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(
+        NodeConfig::disk_cfq(),
+        Strategy::MittOs {
+            deadline: Duration::from_millis(15),
+        },
+    );
+    cfg.seed = seed;
+    cfg.clients = 3;
+    cfg.ops_per_client = 120;
+    cfg.initial_replica = InitialReplica::Random;
+    cfg.think_time = Duration::from_millis(5);
+    cfg.trace = true;
+    cfg.noise = vec![NoiseStream {
+        kind: NoiseKind::DiskReads {
+            len: 1 << 20,
+            class: IoClass::BestEffort,
+            priority: 4,
+        },
+        schedules: rotating_schedule(3, Duration::from_secs(1), Duration::from_secs(600), 4),
+    }];
+    cfg
+}
+
+/// The same cluster with fail-slow and predictor-bias faults active, so
+/// attribution sees fault windows and miscalibrated predictions too.
+fn faulted_traced_config(seed: u64) -> ExperimentConfig {
+    let at = |ms: u64| SimTime::ZERO + Duration::from_millis(ms);
+    let mut cfg = traced_config(seed);
+    cfg.faults = FaultPlan::new()
+        .fail_slow(
+            1,
+            at(400),
+            Duration::from_millis(600),
+            3.0,
+            Duration::from_millis(80),
+        )
+        .predictor_bias(
+            None,
+            at(300),
+            Duration::from_millis(800),
+            1.5,
+            Duration::from_micros(300),
+        );
+    cfg
+}
+
+#[test]
+fn every_reject_is_attributed_in_a_traced_run() {
+    let res = run_experiment(traced_config(61));
+    assert!(res.ebusy > 0, "need rejections to attribute");
+    let events = res.trace.events();
+    let pairs = verify_attribution_invariants(&events).expect("attribution invariant");
+    assert!(pairs > 0, "no reject/attribution pairs found");
+
+    let summary = AttributionSummary::from_events(&events, mittos_repro::os::DEFAULT_HOP);
+    assert_eq!(
+        summary.node_total(),
+        pairs,
+        "summary must count exactly the attributed rejects"
+    );
+    assert!(summary.completed > 0, "completions must be classified");
+}
+
+#[test]
+fn faulted_run_attributes_rejects_and_blames_fault_windows() {
+    let res = run_experiment(faulted_traced_config(62));
+    assert!(res.injected_faults > 0, "the plan must fire");
+    let events = res.trace.events();
+    verify_attribution_invariants(&events).expect("attribution invariant under faults");
+    // The summary is an exact deterministic artifact: two runs from the
+    // same seed agree field for field.
+    let again = run_experiment(faulted_traced_config(62));
+    let a = AttributionSummary::from_events(&events, mittos_repro::os::DEFAULT_HOP);
+    let b = AttributionSummary::from_sink(&again.trace, mittos_repro::os::DEFAULT_HOP);
+    assert_eq!(
+        a, b,
+        "attribution summaries diverged between identical runs"
+    );
+    assert_eq!(a.render(), b.render(), "rendered summaries diverged");
+}
+
+#[test]
+fn calibration_stream_matches_the_trace_event_stream() {
+    let res = run_experiment(traced_config(63));
+    let events = res.trace.events();
+    let stream = CalibrationStream::from_sink(&res.trace, CalibrationConfig::default());
+
+    // Every deadline-carrying prediction by a predictor subsystem must be
+    // resolved (rejected or classified at completion); a run that ends
+    // cleanly leaves nothing open.
+    let total: u64 = stream.stats().values().map(|s| s.total).sum();
+    let rejected: u64 = stream.stats().values().map(|s| s.rejected).sum();
+    assert!(total > 0, "no predictions observed");
+    assert_eq!(stream.unresolved(), 0, "predictions left unresolved");
+
+    // Rejections seen by the stream equal node-level Reject events that
+    // follow an admitted=false prediction.
+    let node_rejects = events
+        .iter()
+        .filter(|ev| {
+            ev.node != mittos_repro::trace::CLUSTER_NODE
+                && matches!(ev.kind, EventKind::Reject { .. })
+        })
+        .count() as u64;
+    assert_eq!(rejected, node_rejects, "stream rejected != trace rejects");
+
+    // The histogram totals agree with the FP/FN counters' universe.
+    for (name, stats) in stream.stats() {
+        assert!(
+            stats.false_pos + stats.false_neg <= stats.total,
+            "{name}: fp+fn exceeds total"
+        );
+    }
+}
+
+#[test]
+fn bench_report_round_trips_and_gates_regressions() {
+    let mut res = run_experiment(traced_config(64));
+    let mut report = BenchReport::new("obs-test", 64, 1);
+    report
+        .strategies
+        .push(StrategyRow::from_result("mittos", &mut res));
+    report.calibration.push(CalibrationRow {
+        predictor: "mittcfq".to_string(),
+        total: 1000,
+        fp_pct: 0.4,
+        fn_pct: 0.3,
+        inaccuracy_pct: 0.7,
+        mean_err_ms: 1.2,
+        max_err_ms: 3.4,
+    });
+
+    // Byte-stable round trip.
+    let json = report.to_json();
+    let parsed = BenchReport::parse(&json).expect("parse own output");
+    assert_eq!(json, parsed.to_json(), "report JSON round trip not stable");
+
+    // Identical reports pass the gate.
+    assert!(report
+        .compare(&parsed, CompareThresholds::default())
+        .is_empty());
+
+    // A degraded run fails it: p95 regression and calibration drift.
+    let mut degraded = parsed;
+    degraded.strategies[0].p95_ms *= 2.0;
+    degraded.calibration[0].inaccuracy_pct += 5.0;
+    let regressions = report.compare(&degraded, CompareThresholds::default());
+    assert!(
+        regressions.iter().any(|r| r.contains("p95")),
+        "p95 regression not caught: {regressions:?}"
+    );
+    assert!(
+        regressions.iter().any(|r| r.contains("inaccuracy")),
+        "calibration regression not caught: {regressions:?}"
+    );
+}
