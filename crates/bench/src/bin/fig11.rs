@@ -1,8 +1,13 @@
 //! Figure 11: workload mix — MittOS+KV colocated with filebench-like
 //! personalities and a Hadoop-like job stream (§7.8.1).
+//!
+//! `--bench-json BENCH_fig11.json` writes a machine-readable per-strategy
+//! report; `--baseline <file>` compares against a committed baseline and
+//! exits 1 on regression (see `mitt-obs`).
 
-use mitt_bench::{ops_from_env, print_cdf, reduction_at, trace_flag};
+use mitt_bench::{bench_json, ops_from_env, print_cdf, reduction_at, trace_flag};
 use mitt_cluster::{ExperimentConfig, NodeConfig, Strategy};
+use mitt_obs::{BenchReport, StrategyRow};
 use mitt_sim::{Duration, SimRng};
 use mitt_workload::macrobench::{fileserver, hadoop_jobs, varmail, webserver, HadoopConfig};
 use mitt_workload::TraceIo;
@@ -45,26 +50,38 @@ fn main() {
         let mut quiet = trace_flag().run(quiet_cfg).get_latencies;
         quiet.percentile(95.0)
     };
-    let base = trace_flag()
-        .run(cfg_for(Strategy::Base, ops, seed))
-        .get_latencies;
+    let mut base = trace_flag().run(cfg_for(Strategy::Base, ops, seed));
     println!("# Fig 11 setup: filebench fileserver/varmail/webserver + Hadoop jobs colocated;");
     println!(
         "# expected-workload p95 = {:.2}ms (deadline & hedge threshold)",
         p95.as_millis_f64()
     );
 
-    let mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
-    let hedged = trace_flag().run(cfg_for(Strategy::Hedged { after: p95 }, ops, seed));
+    let mut mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
+    let mut hedged = trace_flag().run(cfg_for(Strategy::Hedged { after: p95 }, ops, seed));
     // The §7.8.1 fix: return the predicted wait with EBUSY so the final
     // retry goes to the least-busy replica.
-    let mitt_wait = trace_flag().run(cfg_for(Strategy::MittOsWait { deadline: p95 }, ops, seed));
+    let mut mitt_wait =
+        trace_flag().run(cfg_for(Strategy::MittOsWait { deadline: p95 }, ops, seed));
     mitt_bench::progress!(
         "MittCFQ: ebusy={} retries={} errors={}",
         mitt.ebusy,
         mitt.retries,
         mitt.errors
     );
+    let mut report = BenchReport::new("fig11", seed, ops as u64);
+    report
+        .strategies
+        .push(StrategyRow::from_result("mittcfq", &mut mitt));
+    report
+        .strategies
+        .push(StrategyRow::from_result("mitt+wait", &mut mitt_wait));
+    report
+        .strategies
+        .push(StrategyRow::from_result("hedged", &mut hedged));
+    report
+        .strategies
+        .push(StrategyRow::from_result("base", &mut base));
     let mut mitt = mitt.get_latencies;
     let mut hedged = hedged.get_latencies;
 
@@ -72,7 +89,7 @@ fn main() {
         ("MittCFQ", mitt.clone()),
         ("Mitt+Wait", mitt_wait.get_latencies),
         ("Hedged", hedged.clone()),
-        ("Base", base),
+        ("Base", base.get_latencies),
     ];
     print_cdf(
         "Fig 11a: latency CDF under the workload mix",
@@ -88,4 +105,6 @@ fn main() {
     println!("\n# Expected shape: positive reductions overall (paper: up to 41%), possibly");
     println!("# negative above ~p99 where forced 3rd retries hit busier replicas — the");
     println!("# limitation the wait-time-hint extension (MittOS+Wait) addresses.");
+
+    bench_json().finish_or_exit(&report);
 }

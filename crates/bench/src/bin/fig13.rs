@@ -6,9 +6,14 @@
 //! EBUSY on *any* block read propagates to the Riak-like coordinator,
 //! which fails the whole get over to another replica. Panel (b) shows one
 //! node's outstanding-IO timeline with the instants it returned EBUSY.
+//!
+//! `--bench-json BENCH_fig13.json` writes a machine-readable per-strategy
+//! report; `--baseline <file>` compares against a committed baseline and
+//! exits 1 on regression (see `mitt-obs`).
 
-use mitt_bench::{ec2_disk_noise, ops_from_env, print_cdf, trace_flag};
+use mitt_bench::{bench_json, ec2_disk_noise, ops_from_env, print_cdf, trace_flag};
 use mitt_cluster::{ExperimentConfig, NodeConfig, Strategy};
+use mitt_obs::{BenchReport, StrategyRow};
 use mitt_sim::{Duration, SimTime};
 
 fn cfg_for(strategy: Strategy, ops: usize, seed: u64) -> ExperimentConfig {
@@ -44,7 +49,14 @@ fn main() {
     println!("# Fig 13 setup: Riak-like coordinator over LevelDB-like engines (20 nodes);");
     println!("# measured Base p95 = {:.2}ms", p95.as_millis_f64());
 
-    let mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
+    let mut mitt = trace_flag().run(cfg_for(Strategy::MittOs { deadline: p95 }, ops, seed));
+    let mut report = BenchReport::new("fig13", seed, ops as u64);
+    report
+        .strategies
+        .push(StrategyRow::from_result("mittcfq", &mut mitt));
+    report
+        .strategies
+        .push(StrategyRow::from_result("base", &mut base));
     let watch = mitt.watch.as_ref().expect("watch node configured");
     mitt_bench::progress!(
         "MittCFQ: ebusy={} retries={} node0_ebusy={}",
@@ -101,4 +113,6 @@ fn main() {
     }
     println!("\n# Expected shape: EBUSY instants coincide with outstanding-IO spikes; when");
     println!("# the queue is shallow enough to meet the deadline, no EBUSY is returned.");
+
+    bench_json().finish_or_exit(&report);
 }

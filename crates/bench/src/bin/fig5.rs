@@ -3,12 +3,17 @@
 //!
 //! The deadline, timeout and hedge threshold are all set to the measured
 //! p95 of the Base run (§7.2's "13ms" convention).
+//!
+//! `--bench-json BENCH_fig5.json` writes a machine-readable per-strategy
+//! report; `--baseline <file>` compares against a committed baseline and
+//! exits 1 on regression (see `mitt-obs`).
 
 use mitt_bench::{
-    fig5_config, measure_p95, ops_from_env, print_cdf, print_percentiles, print_reductions,
-    trace_flag,
+    bench_json, fig5_config, measure_p95, ops_from_env, print_cdf, print_percentiles,
+    print_reductions, trace_flag,
 };
 use mitt_cluster::Strategy;
+use mitt_obs::{BenchReport, StrategyRow};
 
 fn main() {
     let ops = ops_from_env(800);
@@ -29,10 +34,11 @@ fn main() {
         Strategy::AppTimeout { timeout: p95 },
         Strategy::Base,
     ];
+    let mut report = BenchReport::new("fig5", seed, ops as u64);
     let mut series = Vec::new();
     for s in strategies {
         let name = s.name();
-        let res = trace_flag().run(fig5_config(s, ops, seed));
+        let mut res = trace_flag().run(fig5_config(s, ops, seed));
         mitt_bench::progress!(
             "ran {name}: ops={} ebusy={} retries={} errors={}",
             res.ops,
@@ -40,6 +46,9 @@ fn main() {
             res.retries,
             res.errors
         );
+        report
+            .strategies
+            .push(StrategyRow::from_result(name, &mut res));
         series.push((name, res.get_latencies));
     }
     print_percentiles("Fig 5a: YCSB get() latencies, 20-node cluster", &mut series);
@@ -56,4 +65,6 @@ fn main() {
     println!("\n# Expected shape: MittOS < Hedged < Clone < AppTO < Base above ~p95;");
     println!("# Clone worse than Base below ~p93 (self-inflicted load);");
     println!("# reductions grow with percentile (paper: 23-47% at p95).");
+
+    bench_json().finish_or_exit(&report);
 }

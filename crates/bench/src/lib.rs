@@ -26,13 +26,10 @@
 
 pub mod flags;
 pub mod progress;
-pub mod replay;
 pub mod report;
 pub mod setups;
 
 pub use flags::{bench_json, trace_flag, BenchJsonFlag, TraceFlag};
-#[allow(deprecated)]
-pub use replay::{classify, p95_wait, replay_audit, replay_audit_with_ablation, AuditStats};
 pub use report::{
     print_cdf, print_percentiles, print_reductions, print_trace_report, reduction_at,
 };

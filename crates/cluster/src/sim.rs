@@ -1626,6 +1626,7 @@ impl ClusterSim {
         if let Strategy::Snitch { alpha } = self.cfg.strategy {
             let sample = now.saturating_since(self.ops[op].started).as_secs_f64() * 1e9;
             let e = &mut self.clients[client].ewma[node];
+            // mitt-lint: allow(T002, "0.0 is the exact cold-start sentinel for an empty EWMA, never the result of arithmetic")
             *e = if *e == 0.0 {
                 sample
             } else {
@@ -1635,6 +1636,7 @@ impl ClusterSim {
         if matches!(self.cfg.strategy, Strategy::C3) {
             let sample = now.saturating_since(self.ops[op].started).as_secs_f64() * 1e9;
             let e = &mut self.clients[client].ewma[node];
+            // mitt-lint: allow(T002, "0.0 is the exact cold-start sentinel for an empty EWMA, never the result of arithmetic")
             *e = if *e == 0.0 {
                 sample
             } else {

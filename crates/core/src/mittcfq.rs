@@ -143,7 +143,6 @@ impl MittCfq {
         let cls = class_idx(class);
         let my_quantum = f64::from(8 - priority);
         let mut ahead = 0i64;
-        // mitt-lint: allow(D003, "commutative i64 accumulation; each term is truncated before summing, so order cannot change the result")
         for (&(c, pid), nt) in &self.node_totals {
             if c < cls || (c == cls && (pid == owner || nt.priority <= priority)) {
                 ahead += nt.total_ns;
@@ -258,7 +257,6 @@ impl MittCfq {
         service_ns: i64,
     ) -> Vec<IoId> {
         let mut moves: Vec<(IoId, i64, i64)> = Vec::new(); // (id, old_bucket, new_tol)
-                                                           // mitt-lint: allow(D003, "moves are sorted by IoId below before any effect")
         for (&id, rec) in &self.queued {
             if id == new_id {
                 continue;

@@ -63,10 +63,13 @@ impl std::error::Error for ProfileError {}
 #[derive(Debug, Clone, Copy)]
 pub struct DiskProfile {
     /// Intercept: command overhead + seek base + mean rotational delay.
+    // mitt-lint: allow(T002, "least-squares fit coefficient, not clock state; rounded to integer ns before entering virtual time")
     pub base_ns: f64,
     /// Seek cost per GB of head travel distance.
+    // mitt-lint: allow(T002, "least-squares fit coefficient, not clock state; rounded to integer ns before entering virtual time")
     pub per_gb_ns: f64,
     /// Transfer cost per KiB.
+    // mitt-lint: allow(T002, "least-squares fit coefficient, not clock state; rounded to integer ns before entering virtual time")
     pub per_kib_ns: f64,
 }
 

@@ -226,6 +226,7 @@ impl Disk {
             + rot
             + self.spec.transfer_cost(io.len);
         let mult = self.faults.disk_service_multiplier(now);
+        // mitt-lint: allow(T002, "1.0 is an exact no-fault sentinel assigned from config, never the result of arithmetic")
         if mult != 1.0 {
             service.mul_f64(mult)
         } else {

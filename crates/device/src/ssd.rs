@@ -227,6 +227,7 @@ impl Ssd {
     }
 
     fn jittered(&mut self, d: Duration) -> Duration {
+        // mitt-lint: allow(T002, "0.0 is an exact jitter-disabled sentinel from the spec, never the result of arithmetic")
         if self.spec.jitter == 0.0 {
             return d;
         }

@@ -1,13 +1,15 @@
-//! Human-readable and JSON rendering of a [`Report`].
+//! Human-readable, JSON, and SARIF rendering of a [`Report`].
 //!
-//! The JSON writer is hand-rolled (the linter is dependency-free by
-//! contract); it emits a stable field order so diffs of archived reports are
-//! meaningful.
+//! All writers are hand-rolled (the linter is dependency-free by contract)
+//! and emit a stable field order with fully sorted inputs, so two runs over
+//! the same tree produce byte-identical output — archived reports diff
+//! meaningfully and CI can compare artifacts directly.
 
 use crate::rules::Rule;
 use crate::workspace::Report;
 
-/// Renders the human-readable report.
+/// Renders the human-readable report. Violations carrying a mechanical fix
+/// suggestion print it on an indented `fix:` line.
 pub fn render_human(report: &Report) -> String {
     let mut out = String::new();
     for v in &report.violations {
@@ -20,6 +22,9 @@ pub fn render_human(report: &Report) -> String {
             v.message,
             v.snippet
         ));
+        if let Some(fix) = &v.suggestion {
+            out.push_str(&format!("    fix: {fix}\n"));
+        }
     }
     for (file, line, note) in &report.malformed_pragmas {
         out.push_str(&format!("{file}:{line}: [pragma] {note}\n"));
@@ -56,7 +61,7 @@ pub fn render_human(report: &Report) -> String {
     out
 }
 
-/// Renders the `--json` report.
+/// Renders the `--format json` report.
 pub fn render_json(report: &Report) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
@@ -66,13 +71,17 @@ pub fn render_json(report: &Report) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}",
             json_str(v.rule.id()),
             json_str(&v.file),
             v.line,
             json_str(&v.message),
             json_str(&v.snippet)
         ));
+        if let Some(fix) = &v.suggestion {
+            out.push_str(&format!(", \"suggestion\": {}", json_str(fix)));
+        }
+        out.push('}');
     }
     out.push_str(if report.violations.is_empty() {
         "],\n"
@@ -106,6 +115,54 @@ pub fn render_json(report: &Report) -> String {
     out
 }
 
+/// Renders the `--format sarif` report (SARIF 2.1.0, minimal profile): one
+/// run, the full rule catalogue under `tool.driver.rules`, and one `result`
+/// per violation. Suppressed findings are not results — they are accounted
+/// for by the waiver ratchet, not the SARIF consumer.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n",
+    );
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mitt-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(rule.id()),
+            json_str(rule.summary()),
+            if i + 1 < Rule::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": {},\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": {}}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            json_str(v.rule.id()),
+            json_str(&v.message),
+            json_str(&v.file),
+            v.line
+        ));
+    }
+    out.push_str(if report.violations.is_empty() {
+        "]\n"
+    } else {
+        "\n      ]\n"
+    });
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
 /// Escapes a string for JSON output.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -128,6 +185,7 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::Violation;
 
     #[test]
     fn json_escaping() {
@@ -141,5 +199,44 @@ mod tests {
         let j = render_json(&r);
         assert!(j.contains("\"clean\": true"));
         assert!(j.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn sarif_carries_rules_and_results() {
+        let mut r = Report::default();
+        let s = render_sarif(&r);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"mitt-lint\""));
+        assert!(s.contains("\"results\": []"));
+        for rule in Rule::ALL {
+            assert!(s.contains(rule.id()), "rule {} missing", rule.id());
+        }
+        r.violations.push(Violation {
+            rule: Rule::D003,
+            file: "crates/core/src/x.rs".to_string(),
+            line: 7,
+            snippet: "for k in m.keys() {".to_string(),
+            message: "unordered".to_string(),
+            suggestion: None,
+        });
+        let s = render_sarif(&r);
+        assert!(s.contains("\"ruleId\": \"D003\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("crates/core/src/x.rs"));
+    }
+
+    #[test]
+    fn json_includes_suggestion_when_present() {
+        let mut r = Report::default();
+        r.violations.push(Violation {
+            rule: Rule::D003,
+            file: "x.rs".to_string(),
+            line: 1,
+            snippet: String::new(),
+            message: "m".to_string(),
+            suggestion: Some("sort first".to_string()),
+        });
+        let j = render_json(&r);
+        assert!(j.contains("\"suggestion\": \"sort first\""));
     }
 }

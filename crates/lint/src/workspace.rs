@@ -1,19 +1,29 @@
-//! Workspace discovery and whole-tree scanning.
+//! Workspace discovery, whole-tree scanning, and the waiver ratchet.
 //!
 //! The walker is deliberately boring: it enumerates `.rs` files under the
 //! workspace root in sorted order (so reports are byte-stable run to run),
 //! classifies each file by crate and kind, and feeds it to the rule engine.
+//!
+//! After the scan, the waiver ratchet (rule W001) compares the per-rule
+//! suppression counts against the committed baseline
+//! (`baselines/LINT_baseline.json`): a count may shrink freely, but growing
+//! one fails the scan. Adding a waiver is therefore always a deliberate,
+//! reviewed act — regenerate the baseline with `mitt-lint --write-baseline`.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{scan_source, FileKind, FileOutcome, Suppression, Violation};
+use crate::rules::{scan_source, FileKind, FileOutcome, Rule, Suppression, Violation};
+
+/// Workspace-relative path of the committed waiver-ratchet baseline.
+pub const DEFAULT_BASELINE: &str = "baselines/LINT_baseline.json";
 
 /// Aggregated result of scanning a workspace.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All surviving violations, sorted by (file, line, rule).
+    /// All surviving violations, sorted by (file, line, rule); ratchet
+    /// breaches (W001) come last.
     pub violations: Vec<Violation>,
     /// All pragma-silenced findings, same order.
     pub suppressed: Vec<Suppression>,
@@ -30,6 +40,14 @@ impl Report {
     /// pragmas — unused pragmas are warnings only).
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty() && self.malformed_pragmas.is_empty()
+    }
+
+    /// Per-rule waiver counts, in [`Rule::ALL`] order.
+    pub fn waiver_counts(&self) -> Vec<(Rule, usize)> {
+        Rule::ALL
+            .iter()
+            .map(|&r| (r, self.suppressed.iter().filter(|s| s.rule == r).count()))
+            .collect()
     }
 }
 
@@ -52,8 +70,19 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Scans every `.rs` file under `root` and aggregates the findings.
+/// Scans every `.rs` file under `root` and aggregates the findings, applying
+/// the waiver ratchet against `root/baselines/LINT_baseline.json` when that
+/// file exists.
 pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let default = root.join(DEFAULT_BASELINE);
+    let baseline = default.exists().then_some(default.as_path());
+    scan_workspace_with_baseline(root, baseline)
+}
+
+/// Scans every `.rs` file under `root`; when `baseline` is given, the waiver
+/// ratchet (W001) runs against it and an unreadable baseline is itself a
+/// violation.
+pub fn scan_workspace_with_baseline(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
@@ -85,7 +114,109 @@ pub fn scan_workspace(root: &Path) -> io::Result<Report> {
                 .map(|(l, n)| (rel.clone(), l, n)),
         );
     }
+    if let Some(baseline) = baseline {
+        apply_ratchet(&mut report, root, baseline);
+    }
     Ok(report)
+}
+
+/// Compares the report's waiver counts against the baseline file and appends
+/// a W001 violation for every rule whose count grew.
+fn apply_ratchet(report: &mut Report, root: &Path, baseline: &Path) {
+    let display = baseline
+        .strip_prefix(root)
+        .unwrap_or(baseline)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let push = |report: &mut Report, message: String| {
+        report.violations.push(Violation {
+            rule: Rule::W001,
+            file: display.clone(),
+            line: 1,
+            snippet: String::new(),
+            message,
+            suggestion: Some(
+                "fix the finding instead of waiving it, or ratchet deliberately \
+                 with `mitt-lint --write-baseline`"
+                    .to_string(),
+            ),
+        });
+    };
+    let text = match fs::read_to_string(baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            push(report, format!("waiver baseline is unreadable: {e}"));
+            return;
+        }
+    };
+    let counts = match parse_baseline(&text) {
+        Some(c) => c,
+        None => {
+            push(
+                report,
+                "waiver baseline is not a valid mitt-lint-waivers/v1 document".to_string(),
+            );
+            return;
+        }
+    };
+    for (rule, have) in report.waiver_counts() {
+        let allowed = counts
+            .iter()
+            .find(|(id, _)| *id == rule.id())
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        if have > allowed {
+            push(
+                report,
+                format!(
+                    "waiver count for {} grew to {have} (baseline allows {allowed}); \
+                     the ratchet only goes down",
+                    rule.id()
+                ),
+            );
+        }
+    }
+}
+
+/// Renders the report's waiver counts as the committed baseline document.
+pub fn render_baseline(report: &Report) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mitt-lint-waivers/v1\",\n  \"counts\": {\n");
+    let counts = report.waiver_counts();
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            rule.id(),
+            n,
+            if i + 1 < counts.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Strict hand-rolled parser for the baseline document (the linter is
+/// dependency-free by contract). Returns `(rule id, allowed count)` pairs, or
+/// `None` when the schema marker is missing or a count fails to parse.
+fn parse_baseline(text: &str) -> Option<Vec<(String, usize)>> {
+    if !text.contains("\"mitt-lint-waivers/v1\"") {
+        return None;
+    }
+    let counts_at = text.find("\"counts\"")?;
+    let body = &text[counts_at..];
+    let open = body.find('{')?;
+    let close = body.find('}')?;
+    let mut out = Vec::new();
+    for pair in body[open + 1..close].split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, val) = pair.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let val: usize = val.trim().parse().ok()?;
+        out.push((key.to_string(), val));
+    }
+    Some(out)
 }
 
 /// Classifies a workspace-relative path into (crate directory name, kind).
@@ -148,5 +279,31 @@ mod tests {
             classify("crates/bench/benches/micro.rs"),
             ("bench".to_string(), FileKind::TestOnly)
         );
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut report = Report::default();
+        report.suppressed.push(Suppression {
+            rule: Rule::D003,
+            file: "x.rs".to_string(),
+            line: 1,
+            reason: "r".to_string(),
+        });
+        let text = render_baseline(&report);
+        let parsed = parse_baseline(&text).expect("rendered baseline parses");
+        assert!(parsed.contains(&("D003".to_string(), 1)));
+        assert!(parsed.contains(&("R001".to_string(), 0)));
+        assert_eq!(parsed.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(parse_baseline("{}").is_none());
+        assert!(parse_baseline("{\"schema\": \"mitt-lint-waivers/v1\"}").is_none());
+        assert!(parse_baseline(
+            "{\"schema\": \"mitt-lint-waivers/v1\", \"counts\": {\"D003\": \"many\"}}"
+        )
+        .is_none());
     }
 }

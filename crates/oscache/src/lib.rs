@@ -217,7 +217,6 @@ impl PageCache {
     /// emulating another tenant's memory ballooning (§6, Figure 3c).
     pub fn swap_out_fraction(&mut self, fraction: f64, rng: &mut SimRng) -> usize {
         let n = ((self.pages.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
-        // mitt-lint: allow(D003, "keys are collected and sorted before use")
         let mut all: Vec<u64> = self.pages.keys().copied().collect();
         all.sort_unstable(); // HashMap order is nondeterministic; fix it.
         rng.shuffle(&mut all);

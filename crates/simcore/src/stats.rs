@@ -79,7 +79,6 @@ impl LatencyRecorder {
     pub fn max(&mut self) -> Duration {
         assert!(!self.samples.is_empty(), "max of empty recorder");
         self.ensure_sorted();
-        // mitt-lint: allow(R001, "guarded by the non-empty assert above")
         Duration::from_nanos(*self.samples.last().expect("non-empty"))
     }
 

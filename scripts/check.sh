@@ -23,8 +23,30 @@ fi
 echo "== cargo build --release"
 cargo build --release
 
-echo "== mitt-lint --json"
-cargo run --quiet -p mitt-lint -- --json
+echo "== mitt-lint (ratchet + SARIF artifact)"
+# The scan picks up baselines/LINT_baseline.json automatically, so this
+# exits 1 if any violation fires OR any rule's waiver count grew past the
+# committed baseline (rule W001). The SARIF artifact is what CI uploads.
+mkdir -p results
+cargo run --quiet -p mitt-lint -- --format sarif >results/lint.sarif
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .version == "2.1.0"
+        and (.runs[0].tool.driver.name == "mitt-lint")
+        and (.runs[0].tool.driver.rules | length >= 12)
+        and (.runs[0].results | length == 0)
+    ' results/lint.sarif >/dev/null
+else
+    python3 -c "
+import json, sys
+d = json.load(open('results/lint.sarif'))
+assert d['version'] == '2.1.0'
+drv = d['runs'][0]['tool']['driver']
+assert drv['name'] == 'mitt-lint' and len(drv['rules']) >= 12
+assert d['runs'][0]['results'] == []
+"
+fi
+echo "   workspace clean; SARIF artifact at results/lint.sarif"
 
 echo "== cargo test -q"
 cargo test -q
@@ -104,5 +126,41 @@ assert all(s['p99_ms'] >= s['p50_ms'] >= 0 for s in d['strategies'])
 " "$bench_out"
 fi
 echo "   bench report conforms to the mitt-bench/v1 schema"
+
+echo "== fig5/fig11/fig13 bench-json gates"
+# Per-strategy latency baselines for the headline figures, at the same
+# MITT_OPS=8 smoke scale. The sim is deterministic, so a drift here means
+# a real behavioral change — regenerate the baseline deliberately.
+for fig in fig5 fig11 fig13; do
+    fig_out="$(mktemp "/tmp/BENCH_${fig}.XXXXXX.json")"
+    fig_baseline="baselines/BENCH_${fig}.json"
+    if [ -f "$fig_baseline" ]; then
+        MITT_OPS=8 cargo run --quiet --release -p mitt-bench --bin "$fig" -- \
+            --bench-json "$fig_out" --baseline "$fig_baseline" >/dev/null
+        echo "   $fig matches $fig_baseline within thresholds"
+    else
+        MITT_OPS=8 cargo run --quiet --release -p mitt-bench --bin "$fig" -- \
+            --bench-json "$fig_out" >/dev/null
+        mkdir -p baselines
+        cp "$fig_out" "$fig_baseline"
+        echo "   no baseline found; committed $fig_baseline (check it in)"
+    fi
+    if command -v jq >/dev/null 2>&1; then
+        jq -e '
+            .schema == "mitt-bench/v1"
+            and (.strategies | length >= 2)
+            and (.strategies | all(.p95_ms >= 0 and .p99_ms >= .p50_ms))
+        ' "$fig_out" >/dev/null
+    else
+        python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['schema'] == 'mitt-bench/v1'
+assert len(d['strategies']) >= 2
+assert all(s['p99_ms'] >= s['p50_ms'] >= 0 for s in d['strategies'])
+" "$fig_out"
+    fi
+    rm -f "$fig_out"
+done
 
 echo "ok: all checks passed"
