@@ -1,0 +1,142 @@
+//! Engine throughput micro-bench: simulated IOs per wall second, with the
+//! full `mitt-prof` self-profile of the run (phase timers, allocation
+//! telemetry, gauges, folded stacks).
+//!
+//! This is the "before" meter for the engine overhaul (ROADMAP item 1):
+//! run it, keep the numbers, make the engine faster, run it again. Two
+//! cluster microbenchmarks execute back to back — Base, then MittOS at
+//! Base's p95 — with tracing *and* profiling enabled, so the profile
+//! reflects the engine under full observability load.
+//!
+//! Flags:
+//!
+//! - `--bench-json BENCH_throughput.json` writes a deterministic
+//!   `mitt-bench/v1` report (virtual-time latencies only — wall-clock
+//!   throughput never enters the baseline, it would flake the gate);
+//! - `--baseline <file>` compares against a committed baseline and exits
+//!   1 on regression;
+//! - `--prof-json <file>` writes the Base run's `mitt-prof/v1` profile
+//!   (wall-clock phase table, alloc table, throughput meter, gauges);
+//! - `--folded <file>` writes folded stacks for flamegraph tooling
+//!   (`flamegraph.pl`, inferno, speedscope);
+//! - `--quiet` suppresses progress notes.
+//!
+//! Build with `--features prof` to install the counting allocator and get
+//! real per-phase allocation numbers in the profile.
+
+use std::path::PathBuf;
+
+use mitt_bench::{bench_json, ops_from_env, progress};
+use mitt_cluster::{run_experiment, ExperimentConfig, NodeConfig, Strategy};
+use mitt_obs::{BenchReport, StrategyRow};
+use mitt_prof::ProfReport;
+use mitt_sim::Duration;
+
+/// Parses `--flag <path>` / `--flag=<path>` from the process args.
+fn arg_path(flag: &str) -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    println!("usage: {flag} <path>");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix(flag) {
+            if let Some(p) = p.strip_prefix('=') {
+                return Some(PathBuf::from(p));
+            }
+        }
+    }
+    None
+}
+
+/// Writes an artifact, exiting 2 on IO failure (stderr stays reserved for
+/// the panic path; see `mitt_bench::progress`).
+fn write_artifact(path: &PathBuf, what: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        println!("failed to write {} to {}: {e}", what, path.display());
+        std::process::exit(2);
+    }
+    progress::note(&format!("wrote {what} to {}", path.display()));
+}
+
+fn profiled(mut cfg: ExperimentConfig, ops: usize, seed: u64) -> ExperimentConfig {
+    cfg.ops_per_client = ops;
+    cfg.seed = seed;
+    cfg.trace = true;
+    cfg.prof = true;
+    cfg
+}
+
+fn main() {
+    let ops = ops_from_env(2000);
+    println!("# Throughput micro-bench: simulated IOs per wall second, self-profiled");
+    println!("# (mitt-prof). 3-node disk/CFQ micro cluster, tracing + profiling ON.");
+    let mut report = BenchReport::new("fig_throughput", 97, ops as u64);
+
+    let base_cfg = profiled(
+        ExperimentConfig::micro(NodeConfig::disk_cfq(), Strategy::Base),
+        ops,
+        97,
+    );
+    let mut base = run_experiment(base_cfg);
+    let p95 = if base.get_latencies.is_empty() {
+        Duration::from_millis(20)
+    } else {
+        base.get_latencies.percentile(95.0)
+    };
+    let mitt_cfg = profiled(
+        ExperimentConfig::micro(NodeConfig::disk_cfq(), Strategy::MittOs { deadline: p95 }),
+        ops,
+        97,
+    );
+    let mut mitt = run_experiment(mitt_cfg);
+
+    let base_prof = base.prof.report();
+    let mitt_prof = mitt.prof.report();
+    print_meter("base", &base_prof);
+    print_meter("mittos", &mitt_prof);
+
+    // The digest-gated report carries only virtual-time results; the
+    // wall-clock profile goes to its own (ungated) artifact.
+    report
+        .strategies
+        .push(StrategyRow::from_result("base", &mut base));
+    report
+        .strategies
+        .push(StrategyRow::from_result("mittos", &mut mitt));
+
+    // Export the MittOS run's profile: it exercises the full stack —
+    // predictors included — where Base bypasses admission checks.
+    if let Some(path) = arg_path("--prof-json") {
+        write_artifact(&path, "mitt-prof report", &mitt_prof.to_json());
+    }
+    if let Some(path) = arg_path("--folded") {
+        write_artifact(&path, "folded stacks", &mitt_prof.folded_stacks());
+    }
+
+    bench_json().finish_or_exit(&report);
+}
+
+/// Key=value trailer lines for one run's throughput meter (wall-clock:
+/// informational only, never baselined).
+fn print_meter(name: &str, prof: &ProfReport) {
+    progress::note(&format!(
+        "{name}: {} events, {} IOs in {:.1} wall ms",
+        prof.events_dispatched,
+        prof.ios_submitted,
+        prof.wall_elapsed_ns as f64 / 1e6,
+    ));
+    println!(
+        "{name}.sim_ios_per_wall_sec={:.0}",
+        prof.sim_ios_per_wall_sec()
+    );
+    println!("{name}.sim_ms_per_wall_ms={:.1}", prof.sim_ms_per_wall_ms());
+    println!(
+        "{name}.events_per_wall_sec={:.0}",
+        prof.events_per_wall_sec()
+    );
+}

@@ -26,6 +26,7 @@ use mitt_device::{
 };
 use mitt_faults::FaultClock;
 use mitt_oscache::{PageCache, PageCacheConfig};
+use mitt_prof::ProfSink;
 use mitt_sched::{Cfq, CfqConfig, DiskScheduler, Noop};
 use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_trace::report::{CACHE_HIT_COUNTER, EBUSY_COUNTER, PREDICT_ERROR_HIST, SUBMIT_COUNTER};
@@ -409,6 +410,7 @@ pub struct Node {
     hop: Duration,
     ebusy_times: Vec<SimTime>,
     trace: TraceSink,
+    prof: ProfSink,
     /// Predicted wait of each admitted, traced IO, resolved against the
     /// actual wait at completion to feed the prediction-error histogram.
     pred_wait: HashMap<IoId, Duration>,
@@ -479,6 +481,7 @@ impl Node {
             hop: cfg.hop,
             ebusy_times: Vec::new(),
             trace: TraceSink::disabled(),
+            prof: ProfSink::disabled(),
             pred_wait: HashMap::new(),
         }
     }
@@ -503,6 +506,29 @@ impl Node {
             cs.mitt.set_trace(sink.clone());
         }
         self.trace = sink;
+    }
+
+    /// Attaches an engine profiling sink, fanning shared handles into the
+    /// predictors, the scheduler and both device models (mirroring
+    /// [`Node::set_trace`]). Profiling is pure observation: it must not
+    /// consume RNG draws or reorder events (digest-neutrality).
+    pub fn set_prof(&mut self, sink: &ProfSink) {
+        if let Some(ds) = &mut self.disk {
+            match &mut ds.mitt {
+                DiskMitt::Noop(m) => m.set_prof(sink.clone()),
+                DiskMitt::Cfq(m) => m.set_prof(sink.clone()),
+            }
+            ds.sched.set_prof(sink.clone());
+            ds.disk.set_prof(sink.clone());
+        }
+        if let Some(ss) = &mut self.ssd {
+            ss.ssd.set_prof(sink.clone());
+            ss.mitt.set_prof(sink.clone());
+        }
+        if let Some(cs) = &mut self.cache {
+            cs.mitt.set_prof(sink.clone());
+        }
+        self.prof = sink.clone();
     }
 
     /// Attaches a fault clock, tagging it with this node's id and fanning
@@ -545,6 +571,7 @@ impl Node {
 
     /// Submits a read through the MittOS stack.
     pub fn submit_read(&mut self, req: &ReadReq, now: SimTime) -> Submission {
+        self.prof.io_submitted();
         self.trace.count(SUBMIT_COUNTER, 1);
         // mmap/addrcheck path: consult the page cache first.
         if req.via_cache {
@@ -903,6 +930,7 @@ impl Node {
     /// (§7.8.6); otherwise writes flow through the storage stack like
     /// reads.
     pub fn submit_write(&mut self, req: &ReadReq, now: SimTime) -> WriteOutcome {
+        self.prof.io_submitted();
         if req.medium == Medium::Disk {
             if let Some(ds) = &mut self.disk {
                 if let Some(nvram) = &mut ds.nvram {

@@ -32,6 +32,7 @@ use mitt_faults::{
     BreakerState, CircuitBreaker, FaultClock, FaultKind, FaultPlan, ResilienceConfig,
 };
 use mitt_lsm::{GetStep, LsmConfig, LsmEngine};
+use mitt_prof::{GaugeSample, Phase, ProfSink};
 use mitt_sim::{Duration, EventQueue, LatencyRecorder, SimRng, SimTime};
 use mitt_trace::report::{NET_HOP_COUNTER, NET_HOP_FAULTED_COUNTER, NET_HOP_HIST};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink, CLUSTER_NODE, DEFAULT_RING_CAPACITY};
@@ -253,6 +254,12 @@ pub struct ExperimentConfig {
     /// (every node plus the cluster driver share one bounded ring); the
     /// sink lands in [`ExperimentResult::trace`].
     pub trace: bool,
+    /// Self-profile the engine: phase timers, allocation telemetry, live
+    /// gauges and a throughput meter land in [`ExperimentResult::prof`].
+    /// Profiling is wall-clock-only observation — it never consumes RNG
+    /// draws or schedules events, so digests are identical with it on or
+    /// off for the same seed.
+    pub prof: bool,
     /// Scheduled fault injection (empty = healthy run; the RNG streams and
     /// digests of planless runs are untouched).
     pub faults: FaultPlan,
@@ -291,6 +298,7 @@ impl ExperimentConfig {
             replication_lag: Duration::ZERO,
             monotonic_guard: false,
             trace: false,
+            prof: false,
             faults: FaultPlan::default(),
             resilience: None,
         }
@@ -324,6 +332,7 @@ impl ExperimentConfig {
             replication_lag: Duration::ZERO,
             monotonic_guard: false,
             trace: false,
+            prof: false,
             faults: FaultPlan::default(),
             resilience: None,
         }
@@ -365,6 +374,10 @@ pub struct ExperimentResult {
     /// The run's trace sink (disabled unless [`ExperimentConfig::trace`]
     /// was set): export with `export_chrome_json()` / `report_text()`.
     pub trace: TraceSink,
+    /// The run's engine-profiling sink (disabled unless
+    /// [`ExperimentConfig::prof`] was set): export with `report_json()` /
+    /// `folded_stacks()`. Never feeds the run digest.
+    pub prof: ProfSink,
     /// Fault windows the run activated (0 on a healthy run).
     pub injected_faults: u64,
     /// Messages eaten by `NetDrop` windows (each cost one retransmit).
@@ -575,6 +588,11 @@ pub struct ClusterSim {
     breakers: Vec<CircuitBreaker>,
     /// Which nodes are currently crashed.
     down: Vec<bool>,
+    /// Engine self-profiling handle (disabled unless `cfg.prof`).
+    prof: ProfSink,
+    /// Next virtual time the profiler samples its live gauges; sampling is
+    /// done inline in `handle()` so no extra events perturb the queue.
+    next_prof_sample: SimTime,
     result: ExperimentResult,
     completed_users: usize,
     target_users: usize,
@@ -670,6 +688,8 @@ impl ClusterSim {
             fault_handles,
             breakers,
             down,
+            prof: ProfSink::disabled(),
+            next_prof_sample: SimTime::ZERO,
             result: ExperimentResult {
                 user_latencies: LatencyRecorder::new(),
                 get_latencies: LatencyRecorder::new(),
@@ -681,6 +701,7 @@ impl ClusterSim {
                 watch: cfg.watch_node.map(|_| WatchLog::default()),
                 finished_at: SimTime::ZERO,
                 trace: TraceSink::disabled(),
+                prof: ProfSink::disabled(),
                 injected_faults: 0,
                 dropped_messages: 0,
                 distorted_predictions: 0,
@@ -699,6 +720,14 @@ impl ClusterSim {
                 node.set_trace(&sink);
             }
             sim.result.trace = sink.for_node(CLUSTER_NODE);
+        }
+        if sim.cfg.prof {
+            let sink = ProfSink::enabled();
+            for node in &mut sim.nodes {
+                node.set_prof(&sink);
+            }
+            sim.prof = sink.clone();
+            sim.result.prof = sink;
         }
         if sim.fault_clock.is_enabled() {
             let clock = sim.fault_clock.clone();
@@ -841,7 +870,29 @@ impl ClusterSim {
         out
     }
 
+    /// Per-event profiler bookkeeping: the dispatch counter plus live
+    /// gauges on a ~10 ms virtual-time cadence. Sampling happens inline
+    /// (never via scheduled events) so the event queue's contents — and
+    /// therefore tie-breaking and digests — are untouched by profiling.
+    fn prof_tick(&mut self, now: SimTime) {
+        self.prof.event_dispatched();
+        if now < self.next_prof_sample {
+            return;
+        }
+        self.next_prof_sample = now + Duration::from_millis(10);
+        self.prof.sample_gauges(GaugeSample {
+            at: now,
+            event_ring: self.q.raw_len(),
+            inflight_ios: self.io_ctx.len(),
+            queue_depth: self.nodes.iter().map(Node::disk_occupancy).sum(),
+        });
+    }
+
     fn handle(&mut self, now: SimTime, ev: Ev) {
+        if self.prof.is_enabled() {
+            self.prof_tick(now);
+        }
+        let _dispatch = self.prof.phase(Phase::Dispatch);
         match ev {
             Ev::ClientIssue { client } => self.client_issue(client, now),
             Ev::OpArrive { op, attempt } => self.op_arrive(op, attempt, now),
@@ -983,14 +1034,17 @@ impl ClusterSim {
     }
 
     fn start_op(&mut self, op: usize, now: SimTime) {
-        self.result.trace.emit(
-            now,
-            Subsystem::Cluster,
-            EventKind::SpanBegin {
-                name: "op",
-                id: op as u64,
-            },
-        );
+        {
+            let _t = self.prof.phase(Phase::TraceEmit);
+            self.result.trace.emit(
+                now,
+                Subsystem::Cluster,
+                EventKind::SpanBegin {
+                    name: "op",
+                    id: op as u64,
+                },
+            );
+        }
         match self.cfg.strategy.clone() {
             Strategy::Base | Strategy::AppTimeout { .. } | Strategy::NosqlProfile { .. } => {
                 let replica_idx = self.pick_initial(op);
@@ -1146,6 +1200,7 @@ impl ClusterSim {
         if !self.result.trace.is_enabled() {
             return;
         }
+        let _t = self.prof.phase(Phase::TraceEmit);
         self.result.trace.emit(
             now,
             Subsystem::Cluster,
@@ -1872,14 +1927,17 @@ impl ClusterSim {
             }
         }
         self.ops[op].done = true;
-        self.result.trace.emit(
-            now,
-            Subsystem::Cluster,
-            EventKind::SpanEnd {
-                name: "op",
-                id: op as u64,
-            },
-        );
+        {
+            let _t = self.prof.phase(Phase::TraceEmit);
+            self.result.trace.emit(
+                now,
+                Subsystem::Cluster,
+                EventKind::SpanEnd {
+                    name: "op",
+                    id: op as u64,
+                },
+            );
+        }
         let latency = now.saturating_since(self.ops[op].started);
         self.result.get_latencies.record(latency);
         self.result.completion_times.push(now);
@@ -2235,6 +2293,7 @@ impl ClusterSim {
     /// Folds fault and resilience counters into the result; called on both
     /// run paths (the event loop and the manual watch-node loop).
     fn finalize(&mut self) {
+        let _fold = self.prof.phase(Phase::StatsFold);
         self.result.finished_at = self.q.now();
         for b in &self.breakers {
             self.result.breaker_opens += b.opens();
@@ -2244,6 +2303,7 @@ impl ClusterSim {
             self.result.dropped_messages = self.fault_clock.dropped_messages();
             self.result.distorted_predictions = self.fault_clock.distorted_predictions();
         }
+        self.prof.finish(self.q.now());
     }
 
     /// Collects the watch-node EBUSY timeline into the result after a run.

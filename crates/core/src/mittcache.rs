@@ -15,6 +15,7 @@
 
 use mitt_faults::FaultClock;
 use mitt_oscache::{PageCache, RangeCheck};
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{Resource, Subsystem, TraceSink};
 
@@ -53,6 +54,7 @@ pub struct MittCache {
     min_io_latency: Duration,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl MittCache {
@@ -63,6 +65,7 @@ impl MittCache {
             min_io_latency,
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
@@ -70,6 +73,13 @@ impl MittCache {
     /// (the cache-hit *events* are emitted by the node).
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches an engine profiling sink; admission checks are timed as
+    /// the `Predict` phase. Profiling never alters decisions
+    /// (digest-neutrality).
+    pub fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 
     /// Attaches a fault clock; `PredictorBias` windows distort the storage
@@ -105,6 +115,7 @@ impl MittCache {
         slo: Option<Slo>,
         now: SimTime,
     ) -> CacheVerdict {
+        let _t = self.prof.phase(Phase::Predict);
         let rc: RangeCheck = cache.addrcheck(offset, len);
         if rc.resident {
             self.trace.count(Subsystem::MittCache.admit_counter(), 1);

@@ -24,6 +24,7 @@ use std::collections::{HashMap, HashSet};
 
 use mitt_device::{BlockIo, IoClass, IoId, ProcessId};
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 
@@ -86,6 +87,7 @@ pub struct MittCfq {
     bumped_total: u64,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl MittCfq {
@@ -105,6 +107,7 @@ impl MittCfq {
             bumped_total: 0,
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
@@ -112,6 +115,13 @@ impl MittCfq {
     /// event and bump-cancels are counted.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches an engine profiling sink; admission checks are timed as
+    /// the `Predict` phase. Profiling never alters decisions
+    /// (digest-neutrality).
+    pub fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 
     /// Attaches a fault clock; `PredictorBias` windows distort the wait
@@ -183,6 +193,7 @@ impl MittCfq {
 
     /// The admission check with bump detection.
     pub fn admit(&mut self, io: &BlockIo, now: SimTime) -> CfqAdmission {
+        let _t = self.prof.phase(Phase::Predict);
         let wait = self.distorted_wait(io.class, io.priority, io.owner, now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
@@ -215,6 +226,7 @@ impl MittCfq {
     /// Used directly by hosts that make the admit/reject decision
     /// themselves (audit mode, error injection).
     pub fn account(&mut self, io: &BlockIo, now: SimTime) -> Vec<IoId> {
+        let _t = self.prof.phase(Phase::Predict);
         let wait = self.predicted_wait(io.class, io.priority, io.owner, now);
         self.admitted += 1;
         let service = self.profile.service(self.last_tail, io.offset, io.len);

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use mitt_device::{BlockIo, IoId};
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 
@@ -40,6 +41,7 @@ pub struct MittNoop {
     admitted: u64,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl MittNoop {
@@ -55,6 +57,7 @@ impl MittNoop {
             admitted: 0,
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
@@ -62,6 +65,13 @@ impl MittNoop {
     /// event.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches an engine profiling sink; admission checks are timed as
+    /// the `Predict` phase. Profiling never alters decisions
+    /// (digest-neutrality).
+    pub fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 
     /// Attaches a fault clock; `PredictorBias` windows distort the wait
@@ -101,12 +111,14 @@ impl MittNoop {
     /// active `PredictorBias` fault distorts the estimate. Callers doing
     /// their own admission (the cluster node) must use this variant.
     pub fn distorted_wait(&self, now: SimTime) -> Duration {
+        let _t = self.prof.phase(Phase::Predict);
         self.faults.distort_wait(now, self.predicted_wait(now))
     }
 
     /// The admission check: rejects (without any state change) when the
     /// deadline cannot be met; otherwise accounts the IO and admits.
     pub fn admit(&mut self, io: &BlockIo, now: SimTime) -> Decision {
+        let _t = self.prof.phase(Phase::Predict);
         let wait = self.distorted_wait(now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
@@ -137,6 +149,7 @@ impl MittNoop {
     /// Used directly by hosts that make the admit/reject decision
     /// themselves (audit mode, error injection).
     pub fn account(&mut self, io: &BlockIo, now: SimTime) {
+        let _t = self.prof.phase(Phase::Predict);
         self.admitted += 1;
         let service = self.predicted_service(io);
         self.pending.insert(io.id, service.as_nanos() as i64);

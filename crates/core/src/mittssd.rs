@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use mitt_device::{BlockIo, IoId, IoKind, SsdSpec};
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
 
@@ -46,6 +47,7 @@ pub struct MittSsd {
     rejected: u64,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl MittSsd {
@@ -67,6 +69,7 @@ impl MittSsd {
             rejected: 0,
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
@@ -74,6 +77,13 @@ impl MittSsd {
     /// event.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches an engine profiling sink; admission checks are timed as
+    /// the `Predict` phase. Profiling never alters decisions
+    /// (digest-neutrality).
+    pub fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 
     /// Attaches a fault clock; `PredictorBias` windows distort the wait
@@ -133,12 +143,14 @@ impl MittSsd {
     /// active `PredictorBias` fault distorts the estimate. Callers doing
     /// their own admission (the cluster node) must use this variant.
     pub fn distorted_wait(&self, io: &BlockIo, now: SimTime) -> Duration {
+        let _t = self.prof.phase(Phase::Predict);
         self.faults.distort_wait(now, self.predicted_wait(io, now))
     }
 
     /// The admission check. On rejection, *no* sub-page is accounted: the
     /// request never reaches the device.
     pub fn admit(&mut self, io: &BlockIo, now: SimTime) -> Decision {
+        let _t = self.prof.phase(Phase::Predict);
         let wait = self.distorted_wait(io, now);
         let slo = io.deadline.map(Slo::deadline);
         let decision = decide(wait, slo, self.hop);
@@ -167,6 +179,7 @@ impl MittSsd {
     /// make the admit/reject decision themselves (audit mode, error
     /// injection).
     pub fn account(&mut self, io: &BlockIo, now: SimTime) {
+        let _t = self.prof.phase(Phase::Predict);
         self.admitted += 1;
         let pages: Vec<u64> = self.pages_of(io).collect();
         for (index, lpn) in pages.into_iter().enumerate() {

@@ -14,6 +14,7 @@
 //! calibration diffs (<3ms) reported in §7.6.
 
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -154,6 +155,7 @@ pub struct Disk {
     served: u64,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl Disk {
@@ -168,12 +170,19 @@ impl Disk {
             served: 0,
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
     /// Attaches a trace sink; the device emits dispatch/complete events.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Attaches an engine profiling sink; submit/complete paths are timed
+    /// as the `Device` phase. Never influences service-time sampling.
+    pub fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 
     /// Attaches a fault clock; fail-slow windows scale service times.
@@ -265,6 +274,7 @@ impl Disk {
     /// event at `started.done_at`. Returns `Ok(None)` if the IO was queued
     /// behind others, and `Err(DiskFull)` if the device queue is full.
     pub fn submit(&mut self, io: BlockIo, now: SimTime) -> Result<Option<Started>, DiskFull> {
+        let _t = self.prof.phase(Phase::Device);
         if !self.has_room() {
             return Err(DiskFull);
         }
@@ -286,6 +296,7 @@ impl Disk {
     ///
     /// Panics if called before the in-flight IO's completion time.
     pub fn complete(&mut self, now: SimTime) -> Result<(FinishedIo, Option<Started>), NoInflight> {
+        let _t = self.prof.phase(Phase::Device);
         let fl = self.in_flight.take().ok_or(NoInflight)?;
         assert!(
             now >= fl.done_at,

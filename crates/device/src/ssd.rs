@@ -16,6 +16,7 @@
 //! inaccuracy).
 
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimRng, SimTime};
 
 use crate::io::{BlockIo, IoId, IoKind};
@@ -178,6 +179,7 @@ pub struct Ssd {
     channel_outstanding: Vec<u32>,
     served_pages: u64,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl Ssd {
@@ -198,12 +200,19 @@ impl Ssd {
             channel_outstanding,
             served_pages: 0,
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
     /// Attaches a fault clock; stall windows extend every flash sub-IO.
     pub fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    /// Attaches an engine profiling sink; submit/complete paths are timed
+    /// as the `Device` phase. Never influences busy-time sampling.
+    pub fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 
     /// The device's static parameters.
@@ -277,6 +286,7 @@ impl Ssd {
     /// page_size`), striped round-robin across chips, matching the paper's
     /// ">16KB multi-page read to a chip is automatically chopped" note.
     pub fn submit(&mut self, io: &BlockIo, now: SimTime) -> SsdSubmit {
+        let _t = self.prof.phase(Phase::Device);
         let mut out = SsdSubmit::default();
         let first_lpn = io.offset / u64::from(self.spec.page_size);
         let last_lpn = (io.end_offset().saturating_sub(1)) / u64::from(self.spec.page_size);
@@ -317,6 +327,7 @@ impl Ssd {
     ///
     /// Panics if the channel has no outstanding IO (double completion).
     pub fn complete_sub(&mut self, channel: usize, _now: SimTime) {
+        let _t = self.prof.phase(Phase::Device);
         assert!(
             self.channel_outstanding[channel] > 0,
             "double completion on channel {channel}"

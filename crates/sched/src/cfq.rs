@@ -18,6 +18,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use mitt_device::{BlockIo, Disk, FinishedIo, IoClass, IoId, NoInflight, ProcessId};
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::SimTime;
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -89,6 +90,7 @@ pub struct Cfq {
     in_device: usize,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl Cfq {
@@ -101,6 +103,7 @@ impl Cfq {
             in_device: 0,
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
+            prof: ProfSink::disabled(),
         }
     }
 
@@ -195,6 +198,7 @@ impl Cfq {
 
 impl DiskScheduler for Cfq {
     fn enqueue(&mut self, io: BlockIo, disk: &mut Disk, now: SimTime) -> DispatchOut {
+        let _t = self.prof.phase(Phase::Sched);
         let t = class_idx(io.class);
         self.index.insert(io.id, (t, io.owner, io.offset));
         self.trace.emit(
@@ -230,6 +234,7 @@ impl DiskScheduler for Cfq {
         disk: &mut Disk,
         now: SimTime,
     ) -> Result<(FinishedIo, DispatchOut), NoInflight> {
+        let _t = self.prof.phase(Phase::Sched);
         let (finished, started) = disk.complete(now)?;
         debug_assert!(self.in_device > 0, "completion without dispatched IO");
         self.in_device = self.in_device.saturating_sub(1);
@@ -264,6 +269,10 @@ impl DiskScheduler for Cfq {
 
     fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 }
 

@@ -35,6 +35,7 @@
 
 use mitt_device::{BlockIo, Disk, FinishedIo, IoId, NoInflight, Started};
 use mitt_faults::FaultClock;
+use mitt_prof::ProfSink;
 use mitt_sim::SimTime;
 use mitt_trace::TraceSink;
 
@@ -98,4 +99,10 @@ pub trait DiskScheduler {
     /// always re-trigger dispatch and the queue keeps draining). The
     /// default implementation ignores it.
     fn set_faults(&mut self, _clock: FaultClock) {}
+
+    /// Attaches an engine profiling sink; schedulers wrap their enqueue /
+    /// completion paths in `Sched` phase timers. Profiling data never
+    /// feeds back into scheduling decisions (digest-neutrality). The
+    /// default implementation ignores it.
+    fn set_prof(&mut self, _sink: ProfSink) {}
 }

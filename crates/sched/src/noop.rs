@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use mitt_device::{BlockIo, Disk, FinishedIo, IoId, NoInflight};
 use mitt_faults::FaultClock;
+use mitt_prof::{Phase, ProfSink};
 use mitt_sim::SimTime;
 use mitt_trace::{EventKind, Subsystem, TraceSink};
 
@@ -19,6 +20,7 @@ pub struct Noop {
     fifo: VecDeque<BlockIo>,
     trace: TraceSink,
     faults: FaultClock,
+    prof: ProfSink,
 }
 
 impl Noop {
@@ -62,6 +64,7 @@ impl Noop {
 
 impl DiskScheduler for Noop {
     fn enqueue(&mut self, io: BlockIo, disk: &mut Disk, now: SimTime) -> DispatchOut {
+        let _t = self.prof.phase(Phase::Sched);
         self.trace.emit(
             now,
             Subsystem::Sched,
@@ -81,6 +84,7 @@ impl DiskScheduler for Noop {
         disk: &mut Disk,
         now: SimTime,
     ) -> Result<(FinishedIo, DispatchOut), NoInflight> {
+        let _t = self.prof.phase(Phase::Sched);
         let (finished, started) = disk.complete(now)?;
         let mut out = self.dispatch(disk, now);
         out.started = started.or(out.started);
@@ -107,6 +111,10 @@ impl DiskScheduler for Noop {
 
     fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    fn set_prof(&mut self, sink: ProfSink) {
+        self.prof = sink;
     }
 }
 

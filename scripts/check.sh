@@ -58,7 +58,10 @@ echo "== trace_run smoke (Chrome trace export)"
 trace_out="$(mktemp /tmp/trace_run.XXXXXX.json)"
 faults_out=""
 bench_out=""
-trap 'rm -f "$trace_out" "$faults_out" "$bench_out"' EXIT
+thr_out=""
+prof_out=""
+folded_out=""
+trap 'rm -f "$trace_out" "$faults_out" "$bench_out" "$thr_out" "$prof_out" "$folded_out"' EXIT
 cargo run --quiet --release --example trace_run -- "$trace_out" >/dev/null
 if command -v jq >/dev/null 2>&1; then
     jq -e '.traceEvents | length > 0' "$trace_out" >/dev/null
@@ -162,5 +165,48 @@ assert all(s['p99_ms'] >= s['p50_ms'] >= 0 for s in d['strategies'])
     fi
     rm -f "$fig_out"
 done
+
+echo "== fig_throughput smoke (mitt-prof profile + throughput baseline)"
+# A small traced+profiled cluster run: validates the mitt-prof/v1 JSON
+# artifact, the folded-stack export, and gates the deterministic
+# virtual-time report against baselines/BENCH_throughput.json via
+# `mitt-obs compare` (wall-clock throughput itself is never gated — it
+# would flake; it lives only in the profile artifact and EXPERIMENTS.md).
+thr_out="$(mktemp /tmp/BENCH_throughput.XXXXXX.json)"
+prof_out="$(mktemp /tmp/mitt_prof.XXXXXX.json)"
+folded_out="$(mktemp /tmp/mitt_prof_folded.XXXXXX.txt)"
+thr_baseline="baselines/BENCH_throughput.json"
+MITT_OPS=8 cargo run --quiet --release -p mitt-bench --bin fig_throughput -- \
+    --quiet --bench-json "$thr_out" --prof-json "$prof_out" --folded "$folded_out" >/dev/null
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "mitt-prof/v1"
+        and (.phases | length == 7)
+        and (.alloc | length == 7)
+        and (.ios_submitted > 0)
+        and (.events_dispatched > 0)
+        and ([.phases[] | select(.phase == "dispatch")] | all(.count > 0))
+    ' "$prof_out" >/dev/null
+else
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['schema'] == 'mitt-prof/v1'
+assert len(d['phases']) == 7 and len(d['alloc']) == 7
+assert d['ios_submitted'] > 0 and d['events_dispatched'] > 0
+assert next(p for p in d['phases'] if p['phase'] == 'dispatch')['count'] > 0
+" "$prof_out"
+fi
+test -s "$folded_out"
+grep -q '^engine;dispatch ' "$folded_out"
+echo "   mitt-prof/v1 profile and folded stacks are well-formed"
+if [ -f "$thr_baseline" ]; then
+    cargo run --quiet --release -p mitt-obs -- compare "$thr_baseline" "$thr_out"
+    echo "   report matches $thr_baseline within thresholds"
+else
+    mkdir -p baselines
+    cp "$thr_out" "$thr_baseline"
+    echo "   no baseline found; committed $thr_baseline (check it in)"
+fi
 
 echo "ok: all checks passed"

@@ -11,6 +11,7 @@ pub use mitt_faults as faults;
 pub use mitt_lsm as lsm;
 pub use mitt_obs as obs;
 pub use mitt_oscache as oscache;
+pub use mitt_prof as prof;
 pub use mitt_sched as sched;
 pub use mitt_sim as sim;
 pub use mitt_trace as trace;

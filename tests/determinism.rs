@@ -288,6 +288,55 @@ fn empty_fault_plan_leaves_the_run_untouched() {
 }
 
 #[test]
+fn profiling_is_digest_neutral() {
+    // mitt-prof is wall-clock-only observation: a profiled run and an
+    // unprofiled run from the same seed must produce byte-identical
+    // digests (including the exported trace). Profiling may not consume
+    // RNG draws, schedule events, or otherwise perturb the engine.
+    let strategy = Strategy::MittOs {
+        deadline: Duration::from_millis(15),
+    };
+    let digest_of = |prof: bool| {
+        let mut h = Fnv1a::new();
+        let mut cfg = config(29, strategy.clone());
+        cfg.prof = prof;
+        let res = run_experiment(cfg);
+        if prof {
+            let report = res.prof.report();
+            assert!(report.events_dispatched > 0, "profiler must observe events");
+            assert!(report.ios_submitted > 0, "profiler must count IOs");
+            assert!(
+                report.phases[mittos_repro::prof::Phase::Dispatch as usize].count > 0,
+                "dispatch phase timer must fire"
+            );
+        } else {
+            assert!(!res.prof.is_enabled());
+        }
+        fold_result(&mut h, &res);
+        h.finish()
+    };
+    assert_eq!(
+        digest_of(true),
+        digest_of(false),
+        "enabling the profiler changed the run digest"
+    );
+}
+
+#[test]
+fn profiled_run_same_seed_same_digest() {
+    let (first, second) = double_run(|h| {
+        let mut cfg = config(30, Strategy::Base);
+        cfg.prof = true;
+        let res = run_experiment(cfg);
+        fold_result(h, &res);
+    });
+    assert_eq!(
+        first, second,
+        "profiled runs from seed 30 diverged: {first:#018x} vs {second:#018x}"
+    );
+}
+
+#[test]
 fn different_seed_different_digest() {
     // Sanity check that the digest actually covers the run: if it never
     // changed, same_seed_same_digest would pass vacuously.
