@@ -27,6 +27,7 @@ pub mod mmapdb;
 pub mod node;
 pub mod nosql;
 pub mod sim;
+pub mod topology;
 
 pub use cpu::{CpuConfig, CpuModel};
 pub use mmapdb::{BtreeConfig, BtreePlanner, PageTouch};
@@ -38,3 +39,4 @@ pub use sim::{
     run_experiment, ClusterSim, ExperimentConfig, ExperimentResult, InitialReplica, NoiseKind,
     NoiseStream, Strategy, WatchLog, CRASH_REPLY_DELAY, RETRANSMIT_DELAY,
 };
+pub use topology::Topology;

@@ -29,7 +29,8 @@ use std::collections::HashMap;
 
 use mitt_device::{IoClass, IoId, ProcessId, SubIoKey, GB};
 use mitt_faults::{
-    BreakerState, CircuitBreaker, FaultClock, FaultKind, FaultPlan, ResilienceConfig,
+    BreakerState, BreakerTransition, CircuitBreaker, FaultClock, FaultKind, FaultPlan,
+    ResilienceConfig,
 };
 use mitt_lsm::{GetStep, LsmConfig, LsmEngine};
 use mitt_prof::{GaugeSample, Phase, ProfSink};
@@ -391,6 +392,11 @@ pub struct ExperimentResult {
     /// Completion time of every get, in completion order; gaps between
     /// consecutive entries expose unavailability windows under faults.
     pub completion_times: Vec<SimTime>,
+    /// IOs hit by a `PartialDegrade` gray window (summed over replicas).
+    pub degraded_ios: u64,
+    /// Per-replica breaker transition logs as `(node, transition)` pairs,
+    /// drained at finalize; the invariant checker audits their legality.
+    pub breaker_transitions: Vec<(usize, BreakerTransition)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -523,6 +529,10 @@ struct AttemptState {
     /// Multi-step lookup plan and the next step to execute.
     plan: Option<Vec<AccessStep>>,
     step: usize,
+    /// True when this try carries the replica's half-open breaker probe:
+    /// its reply must route to the probe-aware breaker feedback so a
+    /// fault-window EBUSY cannot close the breaker.
+    probe: bool,
 }
 
 struct OpState {
@@ -708,6 +718,8 @@ impl ClusterSim {
                 breaker_opens: 0,
                 backoff_retries: 0,
                 completion_times: Vec::new(),
+                degraded_ios: 0,
+                breaker_transitions: Vec::new(),
             },
             completed_users: 0,
             target_users,
@@ -804,7 +816,7 @@ impl ClusterSim {
         }
         // Fault plan: one activation and one deactivation event per window.
         for idx in 0..self.cfg.faults.events.len() {
-            let ev = self.cfg.faults.events[idx];
+            let ev = &self.cfg.faults.events[idx];
             self.q.schedule(ev.at, Ev::FaultStart { idx });
             self.q.schedule(ev.until(), Ev::FaultEnd { idx });
         }
@@ -1155,6 +1167,9 @@ impl ClusterSim {
 
     fn send_try(&mut self, op: usize, node: usize, now: SimTime, deadline: Option<Duration>) {
         let attempt = self.ops[op].attempts.len();
+        // If the replica's breaker just admitted a half-open probe, this
+        // try is it: bind_probe is a one-shot claim.
+        let probe = !self.breakers.is_empty() && self.breakers[node].bind_probe();
         self.ops[op].attempts.push(AttemptState {
             node,
             io: None,
@@ -1162,6 +1177,7 @@ impl ClusterSim {
             deadline,
             plan: None,
             step: 0,
+            probe,
         });
         let client = self.ops[op].client;
         self.clients[client].outstanding[node] += 1;
@@ -1668,12 +1684,27 @@ impl ClusterSim {
         }
         self.ops[op].attempts[attempt].resolved = true;
         // Per-replica circuit-breaker feedback (late replies still count:
-        // the breaker tracks replica health, not op outcomes).
+        // the breaker tracks replica health, not op outcomes). Probe tries
+        // use the probe-aware edges: only a *successful* probe may close a
+        // tripped breaker, and a rejected probe re-opens it — a gray window
+        // flapping faster than the cooldown can no longer oscillate the
+        // breaker closed.
         if !self.breakers.is_empty() {
+            let probe = self.ops[op].attempts[attempt].probe;
             match result {
-                TryResult::Ok { .. } => self.breakers[node].on_success(),
+                TryResult::Ok { .. } => {
+                    if probe {
+                        self.breakers[node].on_probe_success(now);
+                    } else {
+                        self.breakers[node].on_success();
+                    }
+                }
                 TryResult::Busy { .. } | TryResult::Crashed => {
-                    self.breakers[node].on_failure(now);
+                    if probe {
+                        self.breakers[node].on_probe_failure(now);
+                    } else {
+                        self.breakers[node].on_failure(now);
+                    }
                 }
             }
         }
@@ -1715,6 +1746,34 @@ impl ClusterSim {
             TryResult::Busy { wait, resource } => {
                 self.result.ebusy += 1;
                 self.ops[op].busy_waits.push((node, wait));
+                // A rejection issued while the replica sat inside a gray or
+                // correlated fault window gets a cluster-level attribution
+                // naming the window — these causes have no node-side
+                // counterpart (the node blames its own queue), so the
+                // cluster counts them. Purely observational: no RNG, and
+                // nothing emitted when tracing is off.
+                if let Some(fc) = self.fault_handles.get(node) {
+                    let fc = fc.clone();
+                    if fc.gray_active(now) {
+                        self.emit_cluster_attribution(
+                            op,
+                            Resource::GrayWindow,
+                            wait,
+                            node as u64,
+                            true,
+                            now,
+                        );
+                    } else if fc.correlated_active(now) {
+                        self.emit_cluster_attribution(
+                            op,
+                            Resource::FaultWindow,
+                            wait,
+                            node as u64,
+                            true,
+                            now,
+                        );
+                    }
+                }
                 let tries = self.ops[op].attempts.len() - self.ops[op].round_base;
                 if self.cfg.strategy.is_mittos() {
                     if tries < self.cfg.replication {
@@ -2190,9 +2249,15 @@ impl ClusterSim {
     /// predictor layers; only the cluster-level kinds — crash, thrash —
     /// need driver action here.
     fn fault_start(&mut self, idx: usize, now: SimTime) {
-        let ev = self.cfg.faults.events[idx];
+        let ev = self.cfg.faults.events[idx].clone();
         self.fault_clock.record_injection();
         self.result.trace.count("cluster.fault_injected", 1);
+        if ev.scope.is_correlated() {
+            self.result.trace.count("cluster.fault_correlated", 1);
+        }
+        if ev.kind.is_gray() {
+            self.result.trace.count("cluster.fault_gray", 1);
+        }
         self.result.trace.emit(
             now,
             Subsystem::Cluster,
@@ -2202,14 +2267,11 @@ impl ClusterSim {
             },
         );
         match ev.kind {
-            FaultKind::NodeCrash => match ev.node {
-                Some(n) => self.node_crash(n, now),
-                None => {
-                    for n in 0..self.cfg.nodes {
-                        self.node_crash(n, now);
-                    }
+            FaultKind::NodeCrash => {
+                for n in ev.scope.node_indices(self.cfg.nodes) {
+                    self.node_crash(n, now);
                 }
-            },
+            }
             FaultKind::CacheThrash { evict_pct, period } => {
                 self.apply_thrash(idx, evict_pct, now);
                 if !period.is_zero() {
@@ -2224,7 +2286,7 @@ impl ClusterSim {
     /// a process restart with warm device state — the gentlest case, and
     /// the outage still shows in the latency tail.
     fn fault_end(&mut self, idx: usize, now: SimTime) {
-        let ev = self.cfg.faults.events[idx];
+        let ev = self.cfg.faults.events[idx].clone();
         self.result.trace.emit(
             now,
             Subsystem::Cluster,
@@ -2234,9 +2296,8 @@ impl ClusterSim {
             },
         );
         if matches!(ev.kind, FaultKind::NodeCrash) {
-            match ev.node {
-                Some(n) => self.down[n] = false,
-                None => self.down.iter_mut().for_each(|d| *d = false),
+            for n in ev.scope.node_indices(self.cfg.nodes) {
+                self.down[n] = false;
             }
         }
     }
@@ -2264,21 +2325,15 @@ impl ClusterSim {
 
     /// Force-evicts a slice of resident pages on the thrash target(s).
     fn apply_thrash(&mut self, idx: usize, pct: u32, now: SimTime) {
-        match self.cfg.faults.events[idx].node {
-            Some(n) => {
-                self.nodes[n].swap_out_pct(pct, now);
-            }
-            None => {
-                for n in 0..self.cfg.nodes {
-                    self.nodes[n].swap_out_pct(pct, now);
-                }
-            }
+        let scope = self.cfg.faults.events[idx].scope.clone();
+        for n in scope.node_indices(self.cfg.nodes) {
+            self.nodes[n].swap_out_pct(pct, now);
         }
     }
 
     /// Re-applies an eviction storm every `period` while its window lasts.
     fn thrash_tick(&mut self, idx: usize, now: SimTime) {
-        let ev = self.cfg.faults.events[idx];
+        let ev = self.cfg.faults.events[idx].clone();
         if !ev.active_at(now) {
             return;
         }
@@ -2298,10 +2353,16 @@ impl ClusterSim {
         for b in &self.breakers {
             self.result.breaker_opens += b.opens();
         }
+        for (node, b) in self.breakers.iter().enumerate() {
+            self.result
+                .breaker_transitions
+                .extend(b.transitions().iter().map(|&tr| (node, tr)));
+        }
         if self.fault_clock.is_enabled() {
             self.result.injected_faults = self.fault_clock.injected();
             self.result.dropped_messages = self.fault_clock.dropped_messages();
             self.result.distorted_predictions = self.fault_clock.distorted_predictions();
+            self.result.degraded_ios = self.fault_clock.degraded_ios();
         }
         self.prof.finish(self.q.now());
     }

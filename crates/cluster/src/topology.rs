@@ -1,0 +1,185 @@
+//! Cluster topology: node → rack → zone placement for correlated faults.
+//!
+//! The YCSB driver places a key's replicas on *consecutive* node ids
+//! (`hash(key) % nodes`, `+1`, `+2`). For a rack-scoped fault to be
+//! survivable, consecutive ids must therefore land in *different* racks —
+//! so racks stripe (`rack_of(n) = n % racks`) rather than chunk. Zones
+//! group racks round-robin the same way. This mirrors real placement
+//! policy: replica spread across failure domains is a property of the
+//! assignment function, not luck.
+//!
+//! The topology is pure data (no RNG, no clock); it resolves rack/zone
+//! labels to member-node sets, producing the [`FaultScope::Group`] values
+//! correlated fault windows carry and the [`ScopeCatalog`] the fault-plan
+//! generator draws scopes from.
+
+use mitt_faults::{FaultScope, ScopeCatalog, ScopeLabel};
+use mitt_sim::Fnv1a;
+
+/// A striped node → rack → zone map for a cluster of `nodes` machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: u32,
+    racks: u32,
+    zones: u32,
+}
+
+impl Topology {
+    /// A topology with `nodes` machines striped over `racks` racks, with
+    /// racks striped over `zones` zones. Rack and zone counts are clamped
+    /// to at least 1 and at most the layer below (more racks than nodes
+    /// would leave empty racks).
+    pub fn new(nodes: u32, racks: u32, zones: u32) -> Self {
+        let nodes = nodes.max(1);
+        let racks = racks.clamp(1, nodes);
+        let zones = zones.clamp(1, racks);
+        Topology {
+            nodes,
+            racks,
+            zones,
+        }
+    }
+
+    /// The conventional layout for an experiment of `nodes` machines:
+    /// racks of ~4 striped across up to 2 zones.
+    pub fn for_cluster(nodes: usize) -> Self {
+        let nodes = nodes.max(1) as u32;
+        let racks = nodes.div_ceil(4);
+        let zones = racks.min(2);
+        Topology::new(nodes, racks, zones)
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Rack count.
+    pub fn racks(&self) -> u32 {
+        self.racks
+    }
+
+    /// Zone count.
+    pub fn zones(&self) -> u32 {
+        self.zones
+    }
+
+    /// The rack holding `node` (striped, so consecutive nodes differ).
+    pub fn rack_of(&self, node: u32) -> u32 {
+        node % self.racks
+    }
+
+    /// The zone holding `node` (via its rack's stripe).
+    pub fn zone_of(&self, node: u32) -> u32 {
+        self.rack_of(node) % self.zones
+    }
+
+    /// All nodes in rack `rack`, ascending.
+    pub fn rack_members(&self, rack: u32) -> Vec<u32> {
+        (0..self.nodes)
+            .filter(|&n| self.rack_of(n) == rack % self.racks)
+            .collect()
+    }
+
+    /// All nodes in zone `zone`, ascending.
+    pub fn zone_members(&self, zone: u32) -> Vec<u32> {
+        (0..self.nodes)
+            .filter(|&n| self.zone_of(n) == zone % self.zones)
+            .collect()
+    }
+
+    /// A correlated fault scope covering one rack.
+    pub fn rack_scope(&self, rack: u32) -> FaultScope {
+        FaultScope::Group {
+            label: ScopeLabel::Rack(rack % self.racks),
+            members: self.rack_members(rack),
+        }
+    }
+
+    /// A correlated fault scope covering one zone.
+    pub fn zone_scope(&self, zone: u32) -> FaultScope {
+        FaultScope::Group {
+            label: ScopeLabel::Zone(zone % self.zones),
+            members: self.zone_members(zone),
+        }
+    }
+
+    /// The resolved scope catalog the fault-plan generator draws from.
+    pub fn catalog(&self) -> ScopeCatalog {
+        ScopeCatalog {
+            nodes: self.nodes,
+            racks: (0..self.racks).map(|r| self.rack_members(r)).collect(),
+            zones: (0..self.zones).map(|z| self.zone_members(z)).collect(),
+        }
+    }
+
+    /// Folds the layout into a digest.
+    pub fn fold_digest(&self, h: &mut Fnv1a) {
+        h.write_u64(u64::from(self.nodes));
+        h.write_u64(u64::from(self.racks));
+        h.write_u64(u64::from(self.zones));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striping_spreads_consecutive_nodes_across_racks() {
+        let t = Topology::new(12, 3, 2);
+        // The YCSB replica triple (n, n+1, n+2) must span 3 distinct racks.
+        for n in 0..10 {
+            let rs = [t.rack_of(n), t.rack_of(n + 1), t.rack_of(n + 2)];
+            assert_ne!(rs[0], rs[1]);
+            assert_ne!(rs[1], rs[2]);
+            assert_ne!(rs[0], rs[2]);
+        }
+    }
+
+    #[test]
+    fn members_partition_the_cluster() {
+        let t = Topology::new(10, 3, 2);
+        let mut all: Vec<u32> = (0..t.racks()).flat_map(|r| t.rack_members(r)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        let mut zoned: Vec<u32> = (0..t.zones()).flat_map(|z| t.zone_members(z)).collect();
+        zoned.sort_unstable();
+        assert_eq!(zoned, all);
+    }
+
+    #[test]
+    fn scopes_cover_exactly_their_members() {
+        let t = Topology::new(8, 4, 2);
+        let scope = t.rack_scope(1);
+        for n in 0..8 {
+            assert_eq!(scope.applies_to(n), t.rack_of(n) == 1, "node {n}");
+        }
+        assert!(scope.is_correlated());
+        let zone = t.zone_scope(0);
+        for n in 0..8 {
+            assert_eq!(zone.applies_to(n), t.zone_of(n) == 0, "node {n}");
+        }
+    }
+
+    #[test]
+    fn catalog_matches_member_queries() {
+        let t = Topology::for_cluster(20);
+        let c = t.catalog();
+        assert_eq!(c.nodes, 20);
+        assert_eq!(c.racks.len(), t.racks() as usize);
+        assert_eq!(c.zones.len(), t.zones() as usize);
+        for (r, members) in c.racks.iter().enumerate() {
+            assert_eq!(*members, t.rack_members(r as u32));
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let t = Topology::new(0, 0, 0);
+        assert_eq!((t.nodes(), t.racks(), t.zones()), (1, 1, 1));
+        assert_eq!(t.rack_members(0), vec![0]);
+        let micro = Topology::for_cluster(3);
+        assert_eq!(micro.racks(), 1);
+    }
+}

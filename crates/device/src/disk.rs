@@ -225,16 +225,18 @@ impl Disk {
         self.served
     }
 
-    /// Samples the actual service time for an IO starting at the current
-    /// head position (advances the jitter RNG). An active fail-slow window
-    /// scales the whole service time.
+    /// Samples the *visible* service time for an IO starting at the current
+    /// head position (advances the jitter RNG). Active fail-slow, gray-flap
+    /// and partial-degrade windows scale the whole service time; all of
+    /// these are symmetric — the slowdown shows in the reported service, so
+    /// predictors recalibrate against it.
     fn sample_service(&mut self, io: &BlockIo, now: SimTime) -> Duration {
         let rot = Duration::from_nanos(self.rng.range_u64(0, self.spec.rot_max.as_nanos().max(1)));
         let service = self.spec.cmd_overhead
             + self.spec.seek_cost(self.head, io.offset)
             + rot
             + self.spec.transfer_cost(io.len);
-        let mult = self.faults.disk_service_multiplier(now);
+        let mult = self.faults.disk_service_multiplier(now) * self.faults.degrade_draw(now);
         // mitt-lint: allow(T002, "1.0 is an exact no-fault sentinel assigned from config, never the result of arithmetic")
         if mult != 1.0 {
             service.mul_f64(mult)
@@ -245,7 +247,19 @@ impl Disk {
 
     fn start(&mut self, io: BlockIo, now: SimTime) -> Started {
         let service = self.sample_service(&io, now);
-        let done_at = now + service;
+        // Asymmetric-visibility windows stretch the *actual* completion
+        // while the device keeps reporting the visible service: predictors
+        // calibrate from `FinishedIo::service`, so their `T_wait` estimates
+        // stay optimistic for the whole window — exactly the gray failure
+        // MittOS's own telemetry cannot see.
+        let hidden = self.faults.hidden_service_multiplier(now);
+        // mitt-lint: allow(T002, "1.0 is an exact no-fault sentinel assigned from config, never the result of arithmetic")
+        let actual = if hidden != 1.0 {
+            service.mul_f64(hidden)
+        } else {
+            service
+        };
+        let done_at = now + actual;
         let id = io.id;
         self.head = io.end_offset().min(self.spec.capacity);
         self.in_flight = Some(InFlight {
@@ -533,6 +547,37 @@ mod tests {
         let slow = sample(true);
         // Same seed, same rotational jitter: exactly 4x.
         assert_eq!(slow, healthy.mul_f64(4.0), "{healthy} -> {slow}");
+    }
+
+    #[test]
+    fn asymmetric_window_stretches_completion_but_not_reported_service() {
+        use mitt_faults::FaultPlan;
+        let sample = |faulted: bool| {
+            let mut d = disk();
+            if faulted {
+                let plan =
+                    FaultPlan::new().asym_slow(0, SimTime::ZERO, Duration::from_secs(10), 5.0);
+                d.set_faults(FaultClock::new(plan, SimRng::new(9)).for_node(0));
+            }
+            let mut g = IoIdGen::new();
+            let s = d
+                .submit(rd(&mut g, 500 * GB), SimTime::ZERO)
+                .unwrap()
+                .unwrap();
+            let (fin, _) = d.complete(s.done_at).unwrap();
+            (fin.service, s.done_at)
+        };
+        let (healthy_service, healthy_done) = sample(false);
+        let (gray_service, gray_done) = sample(true);
+        // The reported service — what predictors calibrate from — is
+        // untouched, while the wall the IO actually occupied the device
+        // is 5x: the visibility asymmetry.
+        assert_eq!(gray_service, healthy_service);
+        assert_eq!(
+            gray_done.as_nanos(),
+            healthy_done.as_nanos() * 5,
+            "{healthy_done} -> {gray_done}"
+        );
     }
 
     #[test]

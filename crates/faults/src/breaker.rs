@@ -20,6 +20,18 @@
 //!     │ probe succeeds                  ▼
 //!     └───────────────────────────── HalfOpen ──▶ Open (probe fails)
 //! ```
+//!
+//! **Probe identity matters.** Only the outcome of the *probe request*
+//! admitted in `HalfOpen` may close the breaker. A stray late `Ok` from a
+//! request sent before the trip must not — under a gray flap shorter than
+//! the cooldown, that late-Ok path silently closes the breaker without
+//! ever probing, and the client oscillates straight back into the
+//! degraded replica. Callers therefore tag the request that
+//! [`CircuitBreaker::admit`] returned [`Admission::Probe`] for and route
+//! its reply to the `on_probe_*` methods; every state transition is
+//! recorded in a [`BreakerTransition`] log so the robustness invariants
+//! (`mitt_faults::invariants`) can assert no Open→Closed edge ever lacks
+//! a successful probe.
 
 use mitt_sim::{Duration, SimTime};
 
@@ -53,6 +65,64 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// How [`CircuitBreaker::admit`] classified an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A normal request through a closed breaker.
+    Normal,
+    /// The single half-open probe: the caller must tag the request and
+    /// route its reply to `on_probe_success` / `on_probe_failure`.
+    Probe,
+}
+
+/// Why a breaker changed state (the transition-log entry's cause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionCause {
+    /// `failure_threshold` consecutive failures tripped a closed breaker.
+    FailureThreshold,
+    /// The half-open probe came back `Ok`.
+    ProbeSuccess,
+    /// The half-open probe came back EBUSY/crashed.
+    ProbeFailure,
+}
+
+impl TransitionCause {
+    /// Stable numeric code, folded into run digests.
+    pub const fn code(self) -> u64 {
+        match self {
+            TransitionCause::FailureThreshold => 0,
+            TransitionCause::ProbeSuccess => 1,
+            TransitionCause::ProbeFailure => 2,
+        }
+    }
+}
+
+/// One recorded breaker state change. The implicit Open→HalfOpen edge at
+/// cooldown expiry is a pure function of the clock and is not logged;
+/// everything caused by a reply is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Virtual time of the change.
+    pub at: SimTime,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// What caused it.
+    pub cause: TransitionCause,
+}
+
+impl BreakerState {
+    /// Stable numeric code, folded into run digests.
+    pub const fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
 /// A per-replica circuit breaker driven by the virtual clock.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
@@ -62,8 +132,13 @@ pub struct CircuitBreaker {
     opened_at: Option<SimTime>,
     /// True once the half-open probe has been handed out.
     probe_inflight: bool,
+    /// True between `admit` returning `Probe` and the caller binding the
+    /// probe to a concrete request via [`CircuitBreaker::bind_probe`].
+    probe_unbound: bool,
     /// Times this breaker transitioned Closed -> Open.
     opens: u64,
+    /// Every reply-caused state change, in order.
+    transitions: Vec<BreakerTransition>,
 }
 
 impl CircuitBreaker {
@@ -74,7 +149,9 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             opened_at: None,
             probe_inflight: false,
+            probe_unbound: false,
             opens: 0,
+            transitions: Vec::new(),
         }
     }
 
@@ -92,46 +169,108 @@ impl CircuitBreaker {
         }
     }
 
-    /// Whether a request may be sent to this replica at `now`. A half-open
-    /// breaker admits exactly one probe per cooldown window; the probe's
-    /// outcome (via [`CircuitBreaker::on_success`] /
-    /// [`CircuitBreaker::on_failure`]) settles the state.
-    pub fn allow(&mut self, now: SimTime) -> bool {
+    /// Whether (and how) a request may be sent to this replica at `now`.
+    /// A half-open breaker admits exactly one probe per cooldown window;
+    /// only that probe's outcome (via
+    /// [`CircuitBreaker::on_probe_success`] /
+    /// [`CircuitBreaker::on_probe_failure`]) may settle the state.
+    pub fn admit(&mut self, now: SimTime) -> Option<Admission> {
         match self.state(now) {
-            BreakerState::Closed => true,
-            BreakerState::Open => false,
+            BreakerState::Closed => Some(Admission::Normal),
+            BreakerState::Open => None,
             BreakerState::HalfOpen => {
                 if self.probe_inflight {
-                    false
+                    None
                 } else {
                     self.probe_inflight = true;
-                    true
+                    self.probe_unbound = true;
+                    Some(Admission::Probe)
                 }
             }
         }
     }
 
-    /// Records a successful response: closes the breaker and clears the
-    /// failure streak.
-    pub fn on_success(&mut self) {
-        self.consecutive_failures = 0;
-        self.opened_at = None;
-        self.probe_inflight = false;
+    /// [`CircuitBreaker::admit`] collapsed to a yes/no.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        self.admit(now).is_some()
     }
 
-    /// Records a failed response (EBUSY or crash) at `now`: extends the
-    /// streak, and trips (or re-trips after a failed probe) the breaker.
+    /// Claims the probe admission handed out by the last
+    /// [`CircuitBreaker::admit`], binding it to the request the caller is
+    /// about to send. Returns true exactly once per admitted probe.
+    pub fn bind_probe(&mut self) -> bool {
+        std::mem::take(&mut self.probe_unbound)
+    }
+
+    fn record(
+        &mut self,
+        at: SimTime,
+        from: BreakerState,
+        to: BreakerState,
+        cause: TransitionCause,
+    ) {
+        self.transitions.push(BreakerTransition {
+            at,
+            from,
+            to,
+            cause,
+        });
+    }
+
+    /// Records a successful *non-probe* response: clears the failure
+    /// streak but never closes a tripped breaker — a late `Ok` from a
+    /// request sent before the trip says nothing about the replica now
+    /// (under a gray flap it is exactly how the old breaker oscillated
+    /// open↔closed without ever probing).
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Records the half-open probe coming back `Ok` at `now`: the only
+    /// edge that closes a tripped breaker.
+    pub fn on_probe_success(&mut self, now: SimTime) {
+        let from = self.state(now);
+        self.consecutive_failures = 0;
+        self.probe_inflight = false;
+        if self.opened_at.take().is_some() {
+            self.record(
+                now,
+                from,
+                BreakerState::Closed,
+                TransitionCause::ProbeSuccess,
+            );
+        }
+    }
+
+    /// Records a failed *non-probe* response (EBUSY or crash) at `now`:
+    /// extends the streak and trips a closed breaker at the threshold.
+    /// Failures while already tripped carry no new information and leave
+    /// the state alone.
     pub fn on_failure(&mut self, now: SimTime) {
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        let tripped = self.opened_at.is_some();
-        if tripped && self.probe_inflight {
-            // Failed half-open probe: restart the cooldown from now.
+        if self.opened_at.is_none() && self.consecutive_failures >= self.cfg.failure_threshold {
             self.opened_at = Some(now);
             self.probe_inflight = false;
-        } else if !tripped && self.consecutive_failures >= self.cfg.failure_threshold {
-            self.opened_at = Some(now);
-            self.probe_inflight = false;
+            self.probe_unbound = false;
             self.opens += 1;
+            self.record(
+                now,
+                BreakerState::Closed,
+                BreakerState::Open,
+                TransitionCause::FailureThreshold,
+            );
+        }
+    }
+
+    /// Records the half-open probe failing at `now`: restart the cooldown
+    /// from now (HalfOpen → Open, no fresh `opens` count).
+    pub fn on_probe_failure(&mut self, now: SimTime) {
+        let from = self.state(now);
+        self.probe_inflight = false;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.opened_at.is_some() {
+            self.opened_at = Some(now);
+            self.record(now, from, BreakerState::Open, TransitionCause::ProbeFailure);
         }
     }
 
@@ -143,6 +282,11 @@ impl CircuitBreaker {
     /// Current consecutive-failure streak.
     pub fn failure_streak(&self) -> u32 {
         self.consecutive_failures
+    }
+
+    /// Every reply-caused state change so far, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
     }
 }
 
@@ -236,11 +380,17 @@ mod tests {
         // Cooldown is 10ms from the trip at t=3.
         assert_eq!(b.state(at(12)), BreakerState::Open);
         assert_eq!(b.state(at(13)), BreakerState::HalfOpen);
-        assert!(b.allow(at(13)), "first probe goes through");
-        assert!(!b.allow(at(13)), "second concurrent probe is held");
-        b.on_success();
+        assert_eq!(
+            b.admit(at(13)),
+            Some(Admission::Probe),
+            "probe goes through"
+        );
+        assert!(b.bind_probe(), "the admitted probe binds once");
+        assert!(!b.bind_probe());
+        assert_eq!(b.admit(at(13)), None, "second concurrent probe is held");
+        b.on_probe_success(at(14));
         assert_eq!(b.state(at(14)), BreakerState::Closed);
-        assert!(b.allow(at(14)));
+        assert_eq!(b.admit(at(14)), Some(Admission::Normal));
     }
 
     #[test]
@@ -249,11 +399,79 @@ mod tests {
         for t in 1..=3 {
             b.on_failure(at(t));
         }
-        assert!(b.allow(at(20)));
-        b.on_failure(at(20));
+        assert_eq!(b.admit(at(20)), Some(Admission::Probe));
+        b.on_probe_failure(at(20));
         assert_eq!(b.state(at(25)), BreakerState::Open);
         assert_eq!(b.state(at(30)), BreakerState::HalfOpen);
         assert_eq!(b.opens(), 1, "re-trip after probe is not a fresh open");
+    }
+
+    #[test]
+    fn late_ok_never_closes_a_tripped_breaker() {
+        // The gray-flap trap: requests sent before the trip complete Ok
+        // while the breaker is Open. They must not close it.
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.on_failure(at(t));
+        }
+        assert_eq!(b.state(at(4)), BreakerState::Open);
+        b.on_success();
+        assert_eq!(b.state(at(4)), BreakerState::Open, "late Ok ignored");
+        // Still open across the cooldown edge, and the probe slot is
+        // untouched by the stray success.
+        assert_eq!(b.state(at(13)), BreakerState::HalfOpen);
+        assert_eq!(b.admit(at(13)), Some(Admission::Probe));
+        // A stray non-probe failure while half-open doesn't restart the
+        // cooldown or consume the probe.
+        b.on_failure(at(14));
+        assert!(b.probe_inflight, "probe still pending");
+        b.on_probe_success(at(15));
+        assert_eq!(b.state(at(15)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn transition_log_records_legal_edges_only() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.on_failure(at(t));
+        }
+        b.on_success(); // late Ok: no transition
+        assert_eq!(b.admit(at(13)), Some(Admission::Probe));
+        b.on_probe_failure(at(13));
+        assert_eq!(b.admit(at(24)), Some(Admission::Probe));
+        b.on_probe_success(at(24));
+        let log = b.transitions();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            (log[0].from, log[0].to, log[0].cause),
+            (
+                BreakerState::Closed,
+                BreakerState::Open,
+                TransitionCause::FailureThreshold
+            )
+        );
+        assert_eq!(
+            (log[1].from, log[1].to, log[1].cause),
+            (
+                BreakerState::HalfOpen,
+                BreakerState::Open,
+                TransitionCause::ProbeFailure
+            )
+        );
+        assert_eq!(
+            (log[2].from, log[2].to, log[2].cause),
+            (
+                BreakerState::HalfOpen,
+                BreakerState::Closed,
+                TransitionCause::ProbeSuccess
+            )
+        );
+        assert!(
+            log.iter()
+                .filter(|t| t.to == BreakerState::Closed)
+                .all(|t| t.cause == TransitionCause::ProbeSuccess),
+            "no close without a successful probe"
+        );
     }
 
     #[test]

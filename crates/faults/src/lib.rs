@@ -30,11 +30,152 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use mitt_sim::digest::Fnv1a;
 use mitt_sim::{Duration, SimRng, SimTime};
 
 pub mod breaker;
+pub mod invariants;
+pub mod plangen;
 
-pub use breaker::{BackoffConfig, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig};
+pub use breaker::{
+    Admission, BackoffConfig, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker,
+    ResilienceConfig, TransitionCause,
+};
+pub use invariants::{check as check_invariants, InvariantInput, InvariantReport};
+pub use plangen::{FaultPlanGen, PlanGenConfig, ScopeCatalog};
+
+/// Which nodes a fault window covers.
+///
+/// The original plans were node- or cluster-scoped; correlated failures
+/// (a top-of-rack switch dying, a zone-wide power sag) open *one* window
+/// that covers a whole topology group at once. The group carries its
+/// member list so this crate never needs to know the cluster layout —
+/// `mitt_cluster::Topology` (or any other placement model) resolves
+/// racks/zones to member sets when the plan is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Every node.
+    Cluster,
+    /// A single node.
+    Node(u32),
+    /// A correlated group: one window, many nodes at once.
+    Group {
+        /// Which topology level the group models.
+        label: ScopeLabel,
+        /// Member node ids, as resolved by the topology at plan-build time.
+        members: Vec<u32>,
+    },
+}
+
+/// The topology level a correlated [`FaultScope::Group`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeLabel {
+    /// All nodes sharing a top-of-rack switch.
+    Rack(u32),
+    /// All racks sharing a failure domain (power/cooling).
+    Zone(u32),
+}
+
+impl FaultScope {
+    /// True if the scope covers `node`.
+    pub fn applies_to(&self, node: u32) -> bool {
+        match self {
+            FaultScope::Cluster => true,
+            FaultScope::Node(n) => *n == node,
+            FaultScope::Group { members, .. } => members.contains(&node),
+        }
+    }
+
+    /// True for rack/zone group scopes (the correlated failure modes).
+    pub fn is_correlated(&self) -> bool {
+        matches!(self, FaultScope::Group { .. })
+    }
+
+    /// The member node indices within a cluster of `cluster` nodes, in
+    /// ascending order (drivers iterate this to apply per-node actions
+    /// like crash sweeps).
+    pub fn node_indices(&self, cluster: usize) -> Vec<usize> {
+        match self {
+            FaultScope::Cluster => (0..cluster).collect(),
+            FaultScope::Node(n) => {
+                let n = *n as usize;
+                if n < cluster {
+                    vec![n]
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultScope::Group { members, .. } => {
+                let mut out: Vec<usize> = members
+                    .iter()
+                    .map(|&m| m as usize)
+                    .filter(|&m| m < cluster)
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// Short label used in reports ("cluster", "node", "rack", "zone").
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScope::Cluster => "cluster",
+            FaultScope::Node(_) => "node",
+            FaultScope::Group {
+                label: ScopeLabel::Rack(_),
+                ..
+            } => "rack",
+            FaultScope::Group {
+                label: ScopeLabel::Zone(_),
+                ..
+            } => "zone",
+        }
+    }
+
+    /// Folds the scope into a run/plan digest.
+    pub fn fold_digest(&self, h: &mut Fnv1a) {
+        match self {
+            FaultScope::Cluster => h.write_u64(0),
+            FaultScope::Node(n) => {
+                h.write_u64(1);
+                h.write_u64(u64::from(*n));
+            }
+            FaultScope::Group { label, members } => {
+                match label {
+                    ScopeLabel::Rack(r) => {
+                        h.write_u64(2);
+                        h.write_u64(u64::from(*r));
+                    }
+                    ScopeLabel::Zone(z) => {
+                        h.write_u64(3);
+                        h.write_u64(u64::from(*z));
+                    }
+                }
+                h.write_u64(members.len() as u64);
+                for m in members {
+                    h.write_u64(u64::from(*m));
+                }
+            }
+        }
+    }
+}
+
+impl From<usize> for FaultScope {
+    fn from(node: usize) -> Self {
+        FaultScope::Node(node as u32)
+    }
+}
+
+impl From<Option<usize>> for FaultScope {
+    fn from(node: Option<usize>) -> Self {
+        match node {
+            Some(n) => FaultScope::Node(n as u32),
+            None => FaultScope::Cluster,
+        }
+    }
+}
 
 /// What a fault event does while active.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +233,39 @@ pub enum FaultKind {
         /// Uniform additive jitter bound per estimate.
         jitter: Duration,
     },
+    /// Gray failure: intermittent fail-slow that flaps on a fixed period.
+    /// Within the window, disk service times are scaled by `multiplier`
+    /// for the first `on_pct`% of every `period`, then healthy for the
+    /// rest — a pure phase function of the virtual clock (no RNG). A
+    /// period shorter than the circuit-breaker cooldown makes the replica
+    /// look healthy to every half-open probe that lands in an off-phase.
+    GrayFlap {
+        /// Flap period (on-phase + off-phase).
+        period: Duration,
+        /// Percent of each period spent degraded (clamped to 1..=100).
+        on_pct: u32,
+        /// Service-time multiplier during the on-phase (>= 1.0).
+        multiplier: f64,
+    },
+    /// Gray failure: partial degradation — each IO is independently slow
+    /// with probability `fraction` (a dying platter region, one bad flash
+    /// die). Sampling consumes the fault RNG only while the window is
+    /// active, per the stream discipline.
+    PartialDegrade {
+        /// Fraction of IOs affected, in [0, 1].
+        fraction: f64,
+        /// Service-time multiplier for the affected IOs (>= 1.0).
+        multiplier: f64,
+    },
+    /// Gray failure: asymmetric visibility — the device *completes* IOs
+    /// `multiplier`x slower but *reports* the healthy service time to the
+    /// predictor's calibration feedback, so `T_wait` estimates stay
+    /// optimistic while real latencies balloon (firmware that lies to
+    /// SMART, a kernel path that hides retries).
+    AsymmetricSlow {
+        /// Hidden service-time multiplier (>= 1.0).
+        multiplier: f64,
+    },
 }
 
 impl FaultKind {
@@ -106,15 +280,72 @@ impl FaultKind {
             FaultKind::NetDelay { .. } => "net_delay",
             FaultKind::NetDrop { .. } => "net_drop",
             FaultKind::PredictorBias { .. } => "predictor_bias",
+            FaultKind::GrayFlap { .. } => "gray_flap",
+            FaultKind::PartialDegrade { .. } => "partial_degrade",
+            FaultKind::AsymmetricSlow { .. } => "asym_slow",
+        }
+    }
+
+    /// True for the gray-failure kinds (flap, partial, asymmetric): the
+    /// modes that degrade without tripping clean failure detection.
+    pub const fn is_gray(self) -> bool {
+        matches!(
+            self,
+            FaultKind::GrayFlap { .. }
+                | FaultKind::PartialDegrade { .. }
+                | FaultKind::AsymmetricSlow { .. }
+        )
+    }
+
+    /// Folds the kind (tag + parameters) into a plan digest. Float
+    /// parameters fold as IEEE-754 bit patterns, so digests are exact.
+    pub fn fold_digest(self, h: &mut Fnv1a) {
+        h.write_str(self.name());
+        match self {
+            FaultKind::NodeCrash => {}
+            FaultKind::FailSlowDisk { multiplier, ramp } => {
+                h.write_u64(multiplier.to_bits());
+                h.write_u64(ramp.as_nanos());
+            }
+            FaultKind::SsdStall { extra } => h.write_u64(extra.as_nanos()),
+            FaultKind::SchedDegrade { max_inflight } => h.write_u64(max_inflight as u64),
+            FaultKind::CacheThrash { evict_pct, period } => {
+                h.write_u64(u64::from(evict_pct));
+                h.write_u64(period.as_nanos());
+            }
+            FaultKind::NetDelay { extra } => h.write_u64(extra.as_nanos()),
+            FaultKind::NetDrop { prob } => h.write_u64(prob.to_bits()),
+            FaultKind::PredictorBias { scale, jitter } => {
+                h.write_u64(scale.to_bits());
+                h.write_u64(jitter.as_nanos());
+            }
+            FaultKind::GrayFlap {
+                period,
+                on_pct,
+                multiplier,
+            } => {
+                h.write_u64(period.as_nanos());
+                h.write_u64(u64::from(on_pct));
+                h.write_u64(multiplier.to_bits());
+            }
+            FaultKind::PartialDegrade {
+                fraction,
+                multiplier,
+            } => {
+                h.write_u64(fraction.to_bits());
+                h.write_u64(multiplier.to_bits());
+            }
+            FaultKind::AsymmetricSlow { multiplier } => h.write_u64(multiplier.to_bits()),
         }
     }
 }
 
-/// One scheduled fault: a kind, a target, and an activation window.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One scheduled fault: a kind, a scope, and an activation window.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
-    /// Node the fault applies to; `None` = every node (cluster-wide).
-    pub node: Option<usize>,
+    /// Which nodes the fault covers (single node, correlated rack/zone
+    /// group, or the whole cluster).
+    pub scope: FaultScope,
     /// Virtual time the fault activates.
     pub at: SimTime,
     /// How long it stays active.
@@ -136,10 +367,15 @@ impl FaultEvent {
 
     /// True if the fault applies to `node`.
     pub fn applies_to(&self, node: u32) -> bool {
-        match self.node {
-            None => true,
-            Some(n) => n == node as usize,
-        }
+        self.scope.applies_to(node)
+    }
+
+    /// Folds the event into a plan digest.
+    pub fn fold_digest(&self, h: &mut Fnv1a) {
+        self.scope.fold_digest(h);
+        h.write_u64(self.at.as_nanos());
+        h.write_u64(self.duration.as_nanos());
+        self.kind.fold_digest(h);
     }
 }
 
@@ -175,7 +411,7 @@ impl FaultPlan {
     /// Crashes `node`'s storage service for `duration` starting at `at`.
     pub fn crash(self, node: usize, at: SimTime, duration: Duration) -> Self {
         self.push(FaultEvent {
-            node: Some(node),
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::NodeCrash,
@@ -193,7 +429,7 @@ impl FaultPlan {
         ramp: Duration,
     ) -> Self {
         self.push(FaultEvent {
-            node: Some(node),
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::FailSlowDisk { multiplier, ramp },
@@ -203,7 +439,7 @@ impl FaultPlan {
     /// SSD stall on `node`: each flash sub-IO takes `extra` longer.
     pub fn ssd_stall(self, node: usize, at: SimTime, duration: Duration, extra: Duration) -> Self {
         self.push(FaultEvent {
-            node: Some(node),
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::SsdStall { extra },
@@ -220,7 +456,7 @@ impl FaultPlan {
         max_inflight: usize,
     ) -> Self {
         self.push(FaultEvent {
-            node: Some(node),
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::SchedDegrade { max_inflight },
@@ -237,7 +473,7 @@ impl FaultPlan {
         period: Duration,
     ) -> Self {
         self.push(FaultEvent {
-            node: Some(node),
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::CacheThrash { evict_pct, period },
@@ -253,7 +489,7 @@ impl FaultPlan {
         extra: Duration,
     ) -> Self {
         self.push(FaultEvent {
-            node,
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::NetDelay { extra },
@@ -263,7 +499,7 @@ impl FaultPlan {
     /// Network message drops; `node: None` hits every hop.
     pub fn net_drop(self, node: Option<usize>, at: SimTime, duration: Duration, prob: f64) -> Self {
         self.push(FaultEvent {
-            node,
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::NetDrop { prob },
@@ -280,20 +516,182 @@ impl FaultPlan {
         jitter: Duration,
     ) -> Self {
         self.push(FaultEvent {
-            node,
+            scope: node.into(),
             at,
             duration,
             kind: FaultKind::PredictorBias { scale, jitter },
         })
     }
+
+    /// Any fault kind under an explicit scope — the correlated-failure
+    /// entry point: pass a rack/zone [`FaultScope::Group`] (from
+    /// `Topology::rack_scope` / `zone_scope`) to open one window across
+    /// every member at once.
+    pub fn scoped(
+        self,
+        scope: FaultScope,
+        at: SimTime,
+        duration: Duration,
+        kind: FaultKind,
+    ) -> Self {
+        self.push(FaultEvent {
+            scope,
+            at,
+            duration,
+            kind,
+        })
+    }
+
+    /// Gray flapping fail-slow on `node` (see [`FaultKind::GrayFlap`]).
+    pub fn gray_flap(
+        self,
+        node: usize,
+        at: SimTime,
+        duration: Duration,
+        period: Duration,
+        on_pct: u32,
+        multiplier: f64,
+    ) -> Self {
+        self.push(FaultEvent {
+            scope: node.into(),
+            at,
+            duration,
+            kind: FaultKind::GrayFlap {
+                period,
+                on_pct,
+                multiplier,
+            },
+        })
+    }
+
+    /// Gray partial degradation on `node` (see
+    /// [`FaultKind::PartialDegrade`]).
+    pub fn partial_degrade(
+        self,
+        node: usize,
+        at: SimTime,
+        duration: Duration,
+        fraction: f64,
+        multiplier: f64,
+    ) -> Self {
+        self.push(FaultEvent {
+            scope: node.into(),
+            at,
+            duration,
+            kind: FaultKind::PartialDegrade {
+                fraction,
+                multiplier,
+            },
+        })
+    }
+
+    /// Gray asymmetric slowness on `node` (see
+    /// [`FaultKind::AsymmetricSlow`]).
+    pub fn asym_slow(self, node: usize, at: SimTime, duration: Duration, multiplier: f64) -> Self {
+        self.push(FaultEvent {
+            scope: node.into(),
+            at,
+            duration,
+            kind: FaultKind::AsymmetricSlow { multiplier },
+        })
+    }
+
+    /// Number of correlated (rack/zone group) events in the plan.
+    pub fn correlated_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.scope.is_correlated())
+            .count()
+    }
+
+    /// Number of gray-failure events in the plan.
+    pub fn gray_events(&self) -> usize {
+        self.events.iter().filter(|e| e.kind.is_gray()).count()
+    }
+
+    /// Folds every event (scope, window, kind, parameters) into `h`, in
+    /// plan order. Two plans digest equal iff they are byte-identical.
+    pub fn fold_digest(&self, h: &mut Fnv1a) {
+        h.write_u64(self.events.len() as u64);
+        for ev in &self.events {
+            ev.fold_digest(h);
+        }
+    }
+
+    /// The plan's standalone FNV-1a digest (for same-seed stability
+    /// checks and bench-report provenance).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.fold_digest(&mut h);
+        h.finish()
+    }
+
+    /// The longest contiguous interval during which at least one node is
+    /// inside a `NodeCrash` window — the worst-case outage a correlated
+    /// crash can impose before failover/error paths even start. Feeds the
+    /// unavailability budget in [`crate::invariants`].
+    pub fn crash_envelope(&self) -> Duration {
+        let mut windows: Vec<(SimTime, SimTime)> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeCrash))
+            .map(|e| (e.at, e.until()))
+            .collect();
+        if windows.is_empty() {
+            return Duration::ZERO;
+        }
+        windows.sort_by_key(|&(start, end)| (start, end));
+        let (mut cur_start, mut cur_end) = windows[0];
+        let mut longest = Duration::ZERO;
+        for &(start, end) in &windows[1..] {
+            if start <= cur_end {
+                cur_end = cur_end.max(end);
+            } else {
+                longest = longest.max(cur_end.saturating_since(cur_start));
+                (cur_start, cur_end) = (start, end);
+            }
+        }
+        longest.max(cur_end.saturating_since(cur_start))
+    }
+
+    /// The merged union of *every* fault window as sorted, disjoint
+    /// `(start, end)` intervals. The unavailability invariant excuses
+    /// completion gaps while any window is open (stacked slow windows may
+    /// legitimately stall service); only the uncovered remainder counts
+    /// against the failover budget.
+    pub fn coverage(&self) -> Vec<(SimTime, SimTime)> {
+        let mut windows: Vec<(SimTime, SimTime)> =
+            self.events.iter().map(|e| (e.at, e.until())).collect();
+        windows.sort_by_key(|&(start, end)| (start, end));
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+        for (start, end) in windows {
+            match merged.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        merged
+    }
+}
+
+/// True when `now` falls in the degraded on-phase of a flap window that
+/// opened at `start`: the first `on_pct`% of every `period`.
+fn flap_on(start: SimTime, now: SimTime, period: Duration, on_pct: u32) -> bool {
+    if period.is_zero() {
+        return true;
+    }
+    let on_pct = u64::from(on_pct.clamp(1, 100));
+    let phase = now.saturating_since(start).as_nanos() % period.as_nanos();
+    phase * 100 < period.as_nanos() * on_pct
 }
 
 /// Shared state behind every enabled clock handle.
 #[derive(Debug)]
 struct FaultCore {
     events: Vec<FaultEvent>,
-    /// Entropy for drop sampling and prediction jitter, forked from the
-    /// experiment's root RNG so faulted runs stay seed-deterministic.
+    /// Entropy for drop sampling, prediction jitter and partial-degrade
+    /// coins, forked from the experiment's root RNG so faulted runs stay
+    /// seed-deterministic.
     rng: SimRng,
     /// Fault activations so far (bumped by the driver at each start).
     injected: u64,
@@ -301,6 +699,8 @@ struct FaultCore {
     dropped_messages: u64,
     /// Predictions distorted by `PredictorBias`.
     distorted_predictions: u64,
+    /// IOs slowed by a `PartialDegrade` coin.
+    degraded_ios: u64,
 }
 
 /// A cheap, cloneable handle to a fault plan — or a disabled no-op.
@@ -332,6 +732,7 @@ impl FaultClock {
                 injected: 0,
                 dropped_messages: 0,
                 distorted_predictions: 0,
+                degraded_ios: 0,
             }))),
             node: 0,
         }
@@ -369,10 +770,13 @@ impl FaultClock {
 
     /// Service-time multiplier for this node's disk at `now` (1.0 when
     /// healthy). Concurrent fail-slow windows multiply together; within a
-    /// window the multiplier ramps linearly from 1.0 over `ramp`.
+    /// window the multiplier ramps linearly from 1.0 over `ramp`. A
+    /// [`FaultKind::GrayFlap`] window contributes its multiplier only
+    /// during the on-phase of its period — a pure phase function of the
+    /// virtual clock, so flapping consumes no RNG.
     pub fn disk_service_multiplier(&self, now: SimTime) -> f64 {
-        self.fold_active(now, 1.0, |acc, ev| {
-            if let FaultKind::FailSlowDisk { multiplier, ramp } = ev.kind {
+        self.fold_active(now, 1.0, |acc, ev| match ev.kind {
+            FaultKind::FailSlowDisk { multiplier, ramp } => {
                 let progress = if ramp.is_zero() {
                     1.0
                 } else {
@@ -380,10 +784,80 @@ impl FaultClock {
                         .min(1.0)
                 };
                 acc * (1.0 + (multiplier - 1.0) * progress)
+            }
+            FaultKind::GrayFlap {
+                period,
+                on_pct,
+                multiplier,
+            } => {
+                if flap_on(ev.at, now, period, on_pct) {
+                    acc * multiplier
+                } else {
+                    acc
+                }
+            }
+            _ => acc,
+        })
+    }
+
+    /// Samples the [`FaultKind::PartialDegrade`] multiplier for one IO
+    /// issued at `now`: the product of every active window's multiplier
+    /// whose per-IO coin lands on "affected" (1.0 otherwise). Consumes
+    /// RNG only while at least one window is active, so degrade-free runs
+    /// keep their exact RNG streams; affected draws bump the shared
+    /// `degraded_ios` counter.
+    pub fn degrade_draw(&self, now: SimTime) -> f64 {
+        let Some(core) = &self.core else { return 1.0 };
+        let mut core = core.borrow_mut();
+        let mut mult = 1.0f64;
+        let mut hit = false;
+        for i in 0..core.events.len() {
+            let ev = &core.events[i];
+            let applies = ev.active_at(now) && ev.applies_to(self.node);
+            let kind = ev.kind;
+            if let FaultKind::PartialDegrade {
+                fraction,
+                multiplier,
+            } = kind
+            {
+                if applies && core.rng.chance(fraction) {
+                    mult *= multiplier;
+                    hit = true;
+                }
+            }
+        }
+        if hit {
+            core.degraded_ios += 1;
+        }
+        mult
+    }
+
+    /// The [`FaultKind::AsymmetricSlow`] multiplier at `now`: scales how
+    /// long the device *actually* takes, while the service time it
+    /// *reports* (trace events, predictor calibration feedback) stays at
+    /// the healthy value. Pure; 1.0 when no window is active.
+    pub fn hidden_service_multiplier(&self, now: SimTime) -> f64 {
+        self.fold_active(now, 1.0, |acc, ev| {
+            if let FaultKind::AsymmetricSlow { multiplier } = ev.kind {
+                acc * multiplier
             } else {
                 acc
             }
         })
+    }
+
+    /// True while any gray-failure window (flap, partial, asymmetric)
+    /// covers this node at `now` — regardless of flap phase, since the
+    /// queue backlog a flap builds persists into its off-phases. Pure;
+    /// used for SLO attribution.
+    pub fn gray_active(&self, now: SimTime) -> bool {
+        self.fold_active(now, false, |acc, ev| acc || ev.kind.is_gray())
+    }
+
+    /// True while any correlated (rack/zone group) window covers this
+    /// node at `now`. Pure; used for SLO attribution.
+    pub fn correlated_active(&self, now: SimTime) -> bool {
+        self.fold_active(now, false, |acc, ev| acc || ev.scope.is_correlated())
     }
 
     /// Extra latency added to each flash sub-IO on this node at `now`.
@@ -523,6 +997,11 @@ impl FaultClock {
             .as_ref()
             .map_or(0, |c| c.borrow().distorted_predictions)
     }
+
+    /// IOs slowed by a `PartialDegrade` coin so far.
+    pub fn degraded_ios(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().degraded_ios)
+    }
 }
 
 #[cfg(test)]
@@ -660,5 +1139,128 @@ mod tests {
         c.for_node(3).record_injection();
         c.record_injection();
         assert_eq!(c.for_node(1).injected(), 2);
+    }
+
+    fn rack_scope(members: &[u32]) -> FaultScope {
+        FaultScope::Group {
+            label: ScopeLabel::Rack(0),
+            members: members.to_vec(),
+        }
+    }
+
+    #[test]
+    fn correlated_scope_covers_every_member_at_once() {
+        let plan = FaultPlan::new().scoped(
+            rack_scope(&[1, 3]),
+            at(10),
+            ms(10),
+            FaultKind::FailSlowDisk {
+                multiplier: 4.0,
+                ramp: Duration::ZERO,
+            },
+        );
+        let c = clock(plan);
+        assert_eq!(c.for_node(1).disk_service_multiplier(at(15)), 4.0);
+        assert_eq!(c.for_node(3).disk_service_multiplier(at(15)), 4.0);
+        assert_eq!(c.for_node(2).disk_service_multiplier(at(15)), 1.0);
+        assert!(c.for_node(1).correlated_active(at(15)));
+        assert!(!c.for_node(2).correlated_active(at(15)));
+        assert!(!c.for_node(1).correlated_active(at(25)), "window closed");
+    }
+
+    #[test]
+    fn scope_node_indices_sort_dedup_and_clip() {
+        assert_eq!(FaultScope::Cluster.node_indices(3), vec![0, 1, 2]);
+        assert_eq!(FaultScope::Node(1).node_indices(3), vec![1]);
+        assert_eq!(FaultScope::Node(9).node_indices(3), Vec::<usize>::new());
+        assert_eq!(rack_scope(&[5, 2, 2, 9]).node_indices(6), vec![2, 5]);
+    }
+
+    #[test]
+    fn gray_flap_follows_its_phase_function() {
+        // 10ms period, 40% on-phase, active [0, 100).
+        let c = clock(FaultPlan::new().gray_flap(0, at(0), ms(100), ms(10), 40, 5.0)).for_node(0);
+        assert_eq!(c.disk_service_multiplier(at(0)), 5.0, "phase 0 is on");
+        assert_eq!(c.disk_service_multiplier(at(3)), 5.0, "phase 3/10 is on");
+        assert_eq!(c.disk_service_multiplier(at(4)), 1.0, "phase 4/10 is off");
+        assert_eq!(c.disk_service_multiplier(at(9)), 1.0);
+        assert_eq!(c.disk_service_multiplier(at(12)), 5.0, "next period is on");
+        assert_eq!(c.disk_service_multiplier(at(100)), 1.0, "window closed");
+        assert!(c.gray_active(at(4)), "gray covers off-phases too");
+        assert!(!c.gray_active(at(100)));
+    }
+
+    #[test]
+    fn partial_degrade_hits_a_fraction_and_counts() {
+        let c = clock(FaultPlan::new().partial_degrade(0, at(0), ms(10), 0.5, 8.0)).for_node(0);
+        let draws: Vec<f64> = (0..64).map(|_| c.degrade_draw(at(5))).collect();
+        let hits = draws.iter().filter(|&&m| m > 4.0).count();
+        assert!(draws.iter().all(|&m| m > 4.0 || m < 1.5), "8.0 or 1.0 only");
+        assert!(
+            hits > 0 && hits < 64,
+            "p=0.5 must hit some, not all: {hits}"
+        );
+        assert_eq!(c.degraded_ios(), hits as u64);
+        assert_eq!(c.degrade_draw(at(15)), 1.0, "inactive window never draws");
+        assert_eq!(c.degraded_ios(), hits as u64);
+    }
+
+    #[test]
+    fn partial_degrade_draws_are_seed_deterministic() {
+        let sample = |seed| {
+            let c = FaultClock::new(
+                FaultPlan::new().partial_degrade(0, at(0), ms(10), 0.3, 4.0),
+                SimRng::new(seed),
+            )
+            .for_node(0);
+            (0..32).map(|_| c.degrade_draw(at(5))).collect::<Vec<f64>>()
+        };
+        assert_eq!(sample(11), sample(11));
+    }
+
+    #[test]
+    fn asymmetric_slow_is_hidden_from_the_visible_multiplier() {
+        let c = clock(FaultPlan::new().asym_slow(0, at(0), ms(10), 3.0)).for_node(0);
+        assert_eq!(c.hidden_service_multiplier(at(5)), 3.0);
+        assert_eq!(
+            c.disk_service_multiplier(at(5)),
+            1.0,
+            "the visible multiplier must stay healthy"
+        );
+        assert!(c.gray_active(at(5)));
+        assert_eq!(c.hidden_service_multiplier(at(15)), 1.0);
+    }
+
+    #[test]
+    fn plan_digest_is_stable_and_sensitive() {
+        let plan = || {
+            FaultPlan::new()
+                .crash(0, at(10), ms(10))
+                .gray_flap(1, at(20), ms(50), ms(8), 50, 3.0)
+        };
+        assert_eq!(plan().digest(), plan().digest());
+        let other =
+            FaultPlan::new()
+                .crash(0, at(10), ms(10))
+                .gray_flap(1, at(20), ms(50), ms(8), 50, 3.5);
+        assert_ne!(plan().digest(), other.digest());
+    }
+
+    #[test]
+    fn crash_envelope_unions_overlapping_windows() {
+        assert_eq!(FaultPlan::new().crash_envelope(), Duration::ZERO);
+        let plan = FaultPlan::new()
+            .crash(0, at(10), ms(20))
+            .crash(1, at(25), ms(20)) // overlaps: union [10, 45)
+            .crash(2, at(100), ms(10)); // disjoint, shorter
+        assert_eq!(plan.crash_envelope(), ms(35));
+        let plan2 = FaultPlan::new().crash(0, at(10), ms(5)).fail_slow(
+            1,
+            at(0),
+            ms(500),
+            3.0,
+            Duration::ZERO,
+        );
+        assert_eq!(plan2.crash_envelope(), ms(5), "non-crash kinds are ignored");
     }
 }

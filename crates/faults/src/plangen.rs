@@ -1,0 +1,341 @@
+//! Seed-deterministic fault-plan generation for randomized robustness
+//! sweeps.
+//!
+//! Hand-written plans (like `fig_faults`'s) exercise the failure paths the
+//! author thought of; a chaos sweep needs *many* plans whose composition is
+//! random but reproducible. [`FaultPlanGen`] is that generator: a pure
+//! function of `(seed, PlanGenConfig)` producing a [`FaultPlan`], with all
+//! sampling drawn from one dedicated [`SimRng`] stream (the simcore
+//! discipline: the generator owns its stream, so adding or reordering
+//! generator draws can never perturb the run's RNG forks — the plan it
+//! emits is plain data fed to `ExperimentConfig::faults`).
+//!
+//! Two windows are planted deterministically at the head of every plan so
+//! each generated sweep is guaranteed to exercise the modes the robustness
+//! harness exists for:
+//!
+//! 1. a **correlated rack-scoped fail-slow** (one window, every rack
+//!    member at once), and
+//! 2. a **gray flap whose period is shorter than the breaker cooldown**
+//!    (the probe-defeating mode).
+//!
+//! The remaining `extra_events` are sampled from the full kind mix per the
+//! intensity and weight knobs.
+
+use mitt_sim::{Duration, SimRng, SimTime};
+
+use crate::{FaultKind, FaultPlan, FaultScope, ScopeLabel};
+
+/// The cluster layout the generator draws correlated scopes from, as
+/// resolved member lists — built by `mitt_cluster::Topology::catalog()`
+/// (or by hand) so this crate needs no topology dependency.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScopeCatalog {
+    /// Total node count (node-scoped faults draw from `0..nodes`).
+    pub nodes: u32,
+    /// Member node ids per rack.
+    pub racks: Vec<Vec<u32>>,
+    /// Member node ids per zone.
+    pub zones: Vec<Vec<u32>>,
+}
+
+impl ScopeCatalog {
+    /// A catalog with no rack/zone structure: correlated draws degrade to
+    /// node scopes.
+    pub fn flat(nodes: u32) -> Self {
+        ScopeCatalog {
+            nodes,
+            racks: Vec::new(),
+            zones: Vec::new(),
+        }
+    }
+}
+
+/// Intensity and mix knobs for one generated plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanGenConfig {
+    /// Cluster layout for scope draws.
+    pub catalog: ScopeCatalog,
+    /// Fault windows open uniformly inside `[horizon/8, horizon)`.
+    pub horizon: Duration,
+    /// Events generated beyond the two planted head windows.
+    pub extra_events: u32,
+    /// Scales multipliers, probabilities and window lengths; 1.0 is the
+    /// baseline, higher is meaner (clamped to >= 0.1).
+    pub intensity: f64,
+    /// Percent of extra events given a correlated rack/zone scope.
+    pub correlated_pct: u32,
+    /// Percent of extra events drawn from the gray-failure kinds.
+    pub gray_pct: u32,
+    /// Percent of extra events that crash a node (sampled after the gray
+    /// split misses).
+    pub crash_pct: u32,
+    /// The breaker cooldown the planted gray flap must beat (its period
+    /// is sampled strictly below this).
+    pub breaker_cooldown: Duration,
+}
+
+impl PlanGenConfig {
+    /// Baseline knobs for `catalog`: 1s horizon, 6 extra events, intensity
+    /// 1.0, 30% correlated, 40% gray, 15% crash, the default 50ms breaker
+    /// cooldown.
+    pub fn baseline(catalog: ScopeCatalog) -> Self {
+        PlanGenConfig {
+            catalog,
+            horizon: Duration::from_secs(1),
+            extra_events: 6,
+            intensity: 1.0,
+            correlated_pct: 30,
+            gray_pct: 40,
+            crash_pct: 15,
+            breaker_cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The generator: one seeded stream, one plan per [`FaultPlanGen::generate`]
+/// call (successive calls continue the stream, so a sweep can pull N
+/// distinct plans from one seed deterministically).
+#[derive(Debug)]
+pub struct FaultPlanGen {
+    rng: SimRng,
+    cfg: PlanGenConfig,
+}
+
+impl FaultPlanGen {
+    /// A generator seeded independently of any experiment RNG.
+    pub fn new(seed: u64, cfg: PlanGenConfig) -> Self {
+        FaultPlanGen {
+            rng: SimRng::new(seed),
+            cfg,
+        }
+    }
+
+    fn window(&mut self) -> (SimTime, Duration) {
+        let horizon = self.cfg.horizon.as_nanos().max(8);
+        let at = SimTime::from_nanos(self.rng.range_u64(horizon / 8, horizon));
+        let base = self.rng.range_u64(horizon / 8, horizon / 2);
+        let scaled = (base as f64 * self.intensity()).max(1.0) as u64;
+        (at, Duration::from_nanos(scaled))
+    }
+
+    fn intensity(&self) -> f64 {
+        self.cfg.intensity.max(0.1)
+    }
+
+    fn mult(&mut self, lo: f64, hi: f64) -> f64 {
+        1.0 + (lo + (hi - lo) * self.rng.unit_f64() - 1.0) * self.intensity()
+    }
+
+    fn node(&mut self) -> u32 {
+        let n = self.cfg.catalog.nodes.max(1);
+        self.rng.range_u64(0, u64::from(n)) as u32
+    }
+
+    fn node_scope(&mut self) -> FaultScope {
+        FaultScope::Node(self.node())
+    }
+
+    /// A correlated rack or zone scope; falls back to a node scope when
+    /// the catalog has no group structure.
+    fn correlated_scope(&mut self) -> FaultScope {
+        let racks = self.cfg.catalog.racks.len();
+        let zones = self.cfg.catalog.zones.len();
+        // Zones are the rarer, bigger blast radius: 1-in-4 of correlated
+        // draws when both exist.
+        let use_zone = zones > 0 && (racks == 0 || self.rng.chance(0.25));
+        if use_zone {
+            let z = self.rng.index(zones);
+            FaultScope::Group {
+                label: ScopeLabel::Zone(z as u32),
+                members: self.cfg.catalog.zones[z].clone(),
+            }
+        } else if racks > 0 {
+            let r = self.rng.index(racks);
+            FaultScope::Group {
+                label: ScopeLabel::Rack(r as u32),
+                members: self.cfg.catalog.racks[r].clone(),
+            }
+        } else {
+            self.node_scope()
+        }
+    }
+
+    fn gray_kind(&mut self) -> FaultKind {
+        match self.rng.index(3) {
+            0 => FaultKind::GrayFlap {
+                period: self.flap_period(),
+                on_pct: 30 + self.rng.range_u64(0, 41) as u32,
+                multiplier: self.mult(3.0, 6.0),
+            },
+            1 => FaultKind::PartialDegrade {
+                fraction: (0.15 + 0.35 * self.rng.unit_f64()) * self.intensity().min(2.0),
+                multiplier: self.mult(3.0, 8.0),
+            },
+            _ => FaultKind::AsymmetricSlow {
+                multiplier: self.mult(2.0, 5.0),
+            },
+        }
+    }
+
+    /// A flap period strictly below the breaker cooldown (floor 2ms), so
+    /// half-open probes race the phase.
+    fn flap_period(&mut self) -> Duration {
+        let cool = self.cfg.breaker_cooldown.as_nanos().max(4_000_000);
+        Duration::from_nanos(self.rng.range_u64(2_000_000, cool))
+    }
+
+    fn classic_kind(&mut self) -> FaultKind {
+        match self.rng.index(4) {
+            0 => FaultKind::FailSlowDisk {
+                multiplier: self.mult(2.0, 5.0),
+                ramp: Duration::from_millis(self.rng.range_u64(0, 100)),
+            },
+            1 => FaultKind::NetDelay {
+                extra: Duration::from_micros(
+                    (self.rng.range_u64(100, 800) as f64 * self.intensity()) as u64,
+                ),
+            },
+            2 => FaultKind::NetDrop {
+                prob: (0.01 + 0.04 * self.rng.unit_f64()) * self.intensity().min(2.0),
+            },
+            _ => FaultKind::PredictorBias {
+                scale: self.mult(1.2, 2.0),
+                jitter: Duration::from_micros(self.rng.range_u64(50, 500)),
+            },
+        }
+    }
+
+    /// Generates the next plan in the stream. Pure in `(seed, cfg, call
+    /// index)`: the same generator yields the same plan sequence on every
+    /// construction.
+    pub fn generate(&mut self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        // Planted window 1: correlated rack/zone fail-slow.
+        let (at, dur) = self.window();
+        let scope = self.correlated_scope();
+        let kind = FaultKind::FailSlowDisk {
+            multiplier: self.mult(2.5, 5.0),
+            ramp: Duration::from_millis(self.rng.range_u64(0, 50)),
+        };
+        plan = plan.scoped(scope, at, dur, kind);
+        // Planted window 2: gray flap faster than the breaker cooldown.
+        let (at, dur) = self.window();
+        let flap = FaultKind::GrayFlap {
+            period: self.flap_period(),
+            on_pct: 50,
+            multiplier: self.mult(3.0, 6.0),
+        };
+        let target = self.node_scope();
+        plan = plan.scoped(target, at, dur, flap);
+        // The random tail.
+        for _ in 0..self.cfg.extra_events {
+            let (at, dur) = self.window();
+            let correlated = self.rng.chance(f64::from(self.cfg.correlated_pct) / 100.0);
+            let scope = if correlated {
+                self.correlated_scope()
+            } else {
+                self.node_scope()
+            };
+            let kind = if self.rng.chance(f64::from(self.cfg.gray_pct) / 100.0) {
+                self.gray_kind()
+            } else if self.rng.chance(f64::from(self.cfg.crash_pct) / 100.0) {
+                FaultKind::NodeCrash
+            } else {
+                self.classic_kind()
+            };
+            // Crashes get bounded windows: long enough to matter, short
+            // enough that failover budgets stay meaningful.
+            let dur = if matches!(kind, FaultKind::NodeCrash) {
+                dur.min(Duration::from_millis(400))
+                    .max(Duration::from_millis(100))
+            } else {
+                dur
+            };
+            plan = plan.scoped(scope, at, dur, kind);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ScopeCatalog {
+        ScopeCatalog {
+            nodes: 6,
+            racks: vec![vec![0, 3], vec![1, 4], vec![2, 5]],
+            zones: vec![vec![0, 3, 1, 4], vec![2, 5]],
+        }
+    }
+
+    fn gen(seed: u64) -> FaultPlan {
+        FaultPlanGen::new(seed, PlanGenConfig::baseline(catalog())).generate()
+    }
+
+    #[test]
+    fn same_seed_same_plan_bytes() {
+        let (a, b) = (gen(42), gen(42));
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(gen(42).digest(), gen(43).digest());
+    }
+
+    #[test]
+    fn successive_plans_from_one_generator_differ_deterministically() {
+        let mut g = FaultPlanGen::new(7, PlanGenConfig::baseline(catalog()));
+        let (p1, p2) = (g.generate(), g.generate());
+        assert_ne!(p1.digest(), p2.digest());
+        let mut g2 = FaultPlanGen::new(7, PlanGenConfig::baseline(catalog()));
+        assert_eq!(g2.generate().digest(), p1.digest());
+        assert_eq!(g2.generate().digest(), p2.digest());
+    }
+
+    #[test]
+    fn every_plan_plants_a_correlated_and_a_fast_gray_window() {
+        for seed in 0..16 {
+            let plan = gen(seed);
+            assert!(plan.correlated_events() >= 1, "seed {seed}: no correlated");
+            assert!(plan.gray_events() >= 1, "seed {seed}: no gray");
+            let cooldown = Duration::from_millis(50);
+            let fast_flap = plan
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::GrayFlap { period, .. } if period < cooldown));
+            assert!(fast_flap, "seed {seed}: no probe-defeating flap");
+        }
+    }
+
+    #[test]
+    fn flat_catalog_degrades_correlated_draws_to_node_scopes() {
+        let cfg = PlanGenConfig::baseline(ScopeCatalog::flat(4));
+        let plan = FaultPlanGen::new(3, cfg).generate();
+        assert_eq!(plan.correlated_events(), 0);
+        assert!(plan
+            .events
+            .iter()
+            .all(|e| matches!(e.scope, FaultScope::Node(n) if n < 4)));
+    }
+
+    #[test]
+    fn intensity_scales_window_lengths() {
+        let mut mild = PlanGenConfig::baseline(catalog());
+        mild.intensity = 0.5;
+        let mut mean = PlanGenConfig::baseline(catalog());
+        mean.intensity = 3.0;
+        let total = |cfg: PlanGenConfig| {
+            let plan = FaultPlanGen::new(9, cfg).generate();
+            plan.events
+                .iter()
+                .map(|e| e.duration.as_nanos())
+                .sum::<u64>()
+        };
+        assert!(total(mean) > total(mild));
+    }
+}

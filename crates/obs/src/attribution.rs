@@ -27,13 +27,13 @@ use std::collections::BTreeMap;
 pub struct AttributionSummary {
     /// Node-level attribution events per resource, indexed by
     /// [`Resource::code`] (EBUSYs and bump-cancels).
-    pub node_counts: [u64; 7],
+    pub node_counts: [u64; 8],
     /// Cluster-level attribution events per resource (failovers, crash
     /// retries, breaker vetoes, hedges).
-    pub cluster_counts: [u64; 7],
+    pub cluster_counts: [u64; 8],
     /// Deadline misses (completed but `actual > deadline + hop`) blamed
     /// per resource via the `Predict`/`Complete` join.
-    pub miss_counts: [u64; 7],
+    pub miss_counts: [u64; 8],
     /// `Reject` events seen.
     pub rejects: u64,
     /// Deadline-carrying IOs that completed.

@@ -134,6 +134,9 @@ pub enum Resource {
     FaultWindow,
     /// A circuit breaker held open by the client-side resilience policy.
     Breaker,
+    /// An active gray-failure window (flapping fail-slow, partial
+    /// degradation, asymmetric visibility) distorting the replica.
+    GrayWindow,
 }
 
 impl Resource {
@@ -147,6 +150,7 @@ impl Resource {
             Resource::NetHop => 4,
             Resource::FaultWindow => 5,
             Resource::Breaker => 6,
+            Resource::GrayWindow => 7,
         }
     }
 
@@ -160,6 +164,7 @@ impl Resource {
             Resource::NetHop => "net_hop",
             Resource::FaultWindow => "fault_window",
             Resource::Breaker => "breaker",
+            Resource::GrayWindow => "gray_window",
         }
     }
 
@@ -174,11 +179,12 @@ impl Resource {
             Resource::NetHop => "attr.net_hop",
             Resource::FaultWindow => "attr.fault_window",
             Resource::Breaker => "attr.breaker",
+            Resource::GrayWindow => "attr.gray_window",
         }
     }
 
     /// All resources, in `code()` order (for report iteration).
-    pub const ALL: [Resource; 7] = [
+    pub const ALL: [Resource; 8] = [
         Resource::CfqQueue,
         Resource::NoopNextFree,
         Resource::SsdChannel,
@@ -186,6 +192,7 @@ impl Resource {
         Resource::NetHop,
         Resource::FaultWindow,
         Resource::Breaker,
+        Resource::GrayWindow,
     ];
 }
 

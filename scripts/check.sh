@@ -61,7 +61,9 @@ bench_out=""
 thr_out=""
 prof_out=""
 folded_out=""
-trap 'rm -f "$trace_out" "$faults_out" "$bench_out" "$thr_out" "$prof_out" "$folded_out"' EXIT
+chaos_out=""
+chaos_json=""
+trap 'rm -f "$trace_out" "$faults_out" "$bench_out" "$thr_out" "$prof_out" "$folded_out" "$chaos_out" "$chaos_json"' EXIT
 cargo run --quiet --release --example trace_run -- "$trace_out" >/dev/null
 if command -v jq >/dev/null 2>&1; then
     jq -e '.traceEvents | length > 0' "$trace_out" >/dev/null
@@ -93,6 +95,48 @@ if [ -z "$injected" ] || [ "$injected" -eq 0 ]; then
     exit 1
 fi
 echo "   injected $injected faults, zero panics"
+
+echo "== fig_chaos smoke (randomized robustness invariants)"
+# Seed-generated chaos plans (3 seeds x 3 plans): correlated rack/zone
+# windows and gray failures must inject, every run must pass the
+# invariant catalogue (no stranded ops, bounded unavailability, legal
+# breaker transitions, full attribution), and the same-seed double run
+# must digest byte-identically. The binary exits 1 on any violation;
+# the greps below also fail loudly if the trailers ever disappear.
+chaos_out="$(mktemp /tmp/fig_chaos.XXXXXX.txt)"
+chaos_json="$(mktemp /tmp/BENCH_fig_chaos.XXXXXX.json)"
+MITT_OPS=60 cargo run --quiet --release -p mitt-bench --bin fig_chaos -- \
+    --quiet --bench-json "$chaos_json" >"$chaos_out"
+for want in 'plans=9' 'invariant_violations=0' 'double_run_digest_match=1'; do
+    if ! grep -qx "$want" "$chaos_out"; then
+        echo "fig_chaos: expected '$want' in output:" >&2
+        cat "$chaos_out" >&2
+        exit 1
+    fi
+done
+for counter in correlated_windows gray_windows; do
+    got="$(sed -n "s/^$counter=//p" "$chaos_out")"
+    if [ -z "$got" ] || [ "$got" -eq 0 ]; then
+        echo "fig_chaos: no $counter activated (got: '${got:-missing}')" >&2
+        exit 1
+    fi
+done
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "mitt-bench/v1"
+        and (.strategies | length == 27)
+        and (.strategies | all(.p95_ms >= 0 and .p99_ms >= .p50_ms))
+    ' "$chaos_json" >/dev/null
+else
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['schema'] == 'mitt-bench/v1'
+assert len(d['strategies']) == 27
+assert all(s['p99_ms'] >= s['p50_ms'] >= 0 for s in d['strategies'])
+" "$chaos_json"
+fi
+echo "   9 chaos plans, zero invariant violations, digest-stable double run"
 
 echo "== fig9 bench-json gate (machine-readable baseline)"
 # A short deterministic fig9 run writes BENCH_fig9.json; the committed

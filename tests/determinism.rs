@@ -13,10 +13,10 @@
 
 use mittos_repro::cluster::{
     run_experiment, ExperimentConfig, ExperimentResult, InitialReplica, Medium, NodeConfig,
-    NoiseKind, NoiseStream, Strategy,
+    NoiseKind, NoiseStream, Strategy, Topology,
 };
 use mittos_repro::device::IoClass;
-use mittos_repro::faults::{FaultPlan, ResilienceConfig};
+use mittos_repro::faults::{FaultPlan, FaultPlanGen, PlanGenConfig, ResilienceConfig};
 use mittos_repro::lsm::LsmConfig;
 use mittos_repro::obs::attribution::AttributionSummary;
 use mittos_repro::sim::digest::{double_run, Fnv1a};
@@ -99,7 +99,15 @@ fn fold_result(h: &mut Fnv1a, res: &ExperimentResult) {
     h.write_u64(res.distorted_predictions);
     h.write_u64(res.breaker_opens);
     h.write_u64(res.backoff_retries);
+    h.write_u64(res.degraded_ios);
     h.write_u64(res.finished_at.as_nanos());
+    for (node, tr) in &res.breaker_transitions {
+        h.write_u64(*node as u64);
+        h.write_u64(tr.at.as_nanos());
+        h.write_u64(tr.from as u64);
+        h.write_u64(tr.to as u64);
+        h.write_u64(tr.cause as u64);
+    }
     h.write_u64_slice(res.user_latencies.samples());
     h.write_u64_slice(res.get_latencies.samples());
     let completions: Vec<u64> = res.completion_times.iter().map(|t| t.as_nanos()).collect();
@@ -333,6 +341,58 @@ fn profiled_run_same_seed_same_digest() {
     assert_eq!(
         first, second,
         "profiled runs from seed 30 diverged: {first:#018x} vs {second:#018x}"
+    );
+}
+
+/// A generated chaos plan over the striped 6-node topology, at full
+/// intensity so correlated scopes and gray windows are all in play.
+fn chaos_config(seed: u64) -> ExperimentConfig {
+    let topo = Topology::new(6, 3, 2);
+    let mut gen_cfg = PlanGenConfig::baseline(topo.catalog());
+    gen_cfg.horizon = Duration::from_millis(400);
+    let plan = FaultPlanGen::new(seed, gen_cfg).generate();
+    let mut cfg = config(
+        seed,
+        Strategy::MittOs {
+            deadline: Duration::from_millis(15),
+        },
+    );
+    cfg.nodes = 6;
+    cfg.faults = plan;
+    cfg.resilience = Some(ResilienceConfig::default());
+    cfg
+}
+
+#[test]
+fn generated_plan_same_seed_is_byte_identical() {
+    // The plan generator is a pure function of its seed and config: two
+    // generators built the same way emit digest-identical plans, and a
+    // single generator's successive plans differ but replay identically.
+    let topo = Topology::new(6, 3, 2);
+    let cfg = || PlanGenConfig::baseline(topo.catalog());
+    let a = FaultPlanGen::new(31, cfg()).generate();
+    let b = FaultPlanGen::new(31, cfg()).generate();
+    assert_eq!(a.digest(), b.digest(), "same-seed plans diverged");
+    assert_ne!(
+        FaultPlanGen::new(31, cfg()).generate().digest(),
+        FaultPlanGen::new(32, cfg()).generate().digest(),
+        "plan digest is insensitive to the generator seed"
+    );
+}
+
+#[test]
+fn generated_chaos_run_same_seed_same_digest() {
+    // End to end through plangen: generator -> correlated + gray windows
+    // -> traced cluster run, twice, digest-identical. This is the same
+    // identity fig_chaos asserts, pinned here as a tier-1 test.
+    let (first, second) = double_run(|h| {
+        let res = run_experiment(chaos_config(33));
+        assert!(res.injected_faults > 0, "the generated plan must fire");
+        fold_result(h, &res);
+    });
+    assert_eq!(
+        first, second,
+        "generated chaos runs from seed 33 diverged: {first:#018x} vs {second:#018x}"
     );
 }
 

@@ -12,7 +12,9 @@
 use mittos_repro::cluster::{
     run_experiment, ExperimentConfig, ExperimentResult, NodeConfig, Strategy, CRASH_REPLY_DELAY,
 };
-use mittos_repro::faults::{BackoffConfig, BreakerConfig, FaultPlan, ResilienceConfig};
+use mittos_repro::faults::{
+    BackoffConfig, BreakerConfig, BreakerState, FaultPlan, ResilienceConfig, TransitionCause,
+};
 use mittos_repro::sim::{Duration, SimTime};
 
 fn at(ms: u64) -> SimTime {
@@ -150,6 +152,73 @@ fn fail_slow_replica_trips_the_breaker() {
         "fail-slow went undetected: ebusy={} opens={}",
         res.ebusy,
         res.breaker_opens
+    );
+}
+
+#[test]
+fn gray_flap_faster_than_cooldown_cannot_close_the_breaker_without_a_probe() {
+    // Node 0 flaps fail-slow with a period *shorter* than the breaker
+    // cooldown — the classic gray failure that defeats naive breakers: by
+    // the time the cooldown expires the node looks healthy again, a burst
+    // of successes closes the breaker, and the next on-phase re-opens it,
+    // forever. The probe-aware breaker may only close on the successful
+    // completion of a designated half-open probe, so every transition to
+    // Closed in the log must carry the ProbeSuccess cause.
+    let cooldown = Duration::from_millis(50);
+    let mut cfg = ExperimentConfig::micro(
+        NodeConfig::disk_cfq(),
+        Strategy::MittOs {
+            deadline: Duration::from_millis(2),
+        },
+    );
+    cfg.seed = 46;
+    cfg.clients = 6;
+    cfg.ops_per_client = 80;
+    // Flap period 10 ms << 50 ms cooldown: several on/off phases elapse
+    // inside every cooldown window.
+    cfg.faults = FaultPlan::new().gray_flap(
+        0,
+        at(20),
+        Duration::from_secs(5),
+        Duration::from_millis(10),
+        50,
+        20.0,
+    );
+    cfg.resilience = Some(ResilienceConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown,
+        },
+        backoff: BackoffConfig::default(),
+    });
+    let res = run_experiment(cfg);
+    assert_eq!(res.ops, 6 * 80);
+    assert!(
+        res.breaker_opens >= 1,
+        "the flapping node never tripped the breaker: ebusy={}",
+        res.ebusy
+    );
+    let closes: Vec<_> = res
+        .breaker_transitions
+        .iter()
+        .filter(|(_, tr)| tr.to == BreakerState::Closed)
+        .collect();
+    for (node, tr) in &closes {
+        assert_eq!(
+            tr.cause,
+            TransitionCause::ProbeSuccess,
+            "node {node} breaker closed at {:?} without a successful probe ({:?})",
+            tr.at,
+            tr.cause
+        );
+    }
+    // The breaker must also actually recover: with on-phases only 5 ms
+    // long, some half-open probe eventually lands in an off-phase and
+    // closes the breaker legally.
+    assert!(
+        !closes.is_empty(),
+        "no probe ever closed the breaker: transitions={:?}",
+        res.breaker_transitions
     );
 }
 

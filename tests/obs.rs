@@ -7,14 +7,14 @@ use mittos_repro::cluster::{
     run_experiment, ExperimentConfig, InitialReplica, NodeConfig, NoiseKind, NoiseStream, Strategy,
 };
 use mittos_repro::device::IoClass;
-use mittos_repro::faults::FaultPlan;
+use mittos_repro::faults::{FaultKind, FaultPlan, FaultScope, ScopeLabel};
 use mittos_repro::obs::attribution::AttributionSummary;
 use mittos_repro::obs::calibration::{CalibrationConfig, CalibrationStream};
 use mittos_repro::obs::{
     verify_attribution_invariants, BenchReport, CalibrationRow, CompareThresholds, StrategyRow,
 };
 use mittos_repro::sim::{Duration, SimTime};
-use mittos_repro::trace::EventKind;
+use mittos_repro::trace::{EventKind, Resource};
 use mittos_repro::workload::rotating_schedule;
 
 /// A contended traced MittOS cluster that generates plenty of rejections.
@@ -98,6 +98,50 @@ fn faulted_run_attributes_rejects_and_blames_fault_windows() {
         "attribution summaries diverged between identical runs"
     );
     assert_eq!(a.render(), b.render(), "rendered summaries diverged");
+}
+
+#[test]
+fn gray_and_correlated_windows_are_attributed_at_the_cluster_level() {
+    // A run under a gray flapping window plus a correlated rack-scoped
+    // slow window: every EBUSY the client sees while a gray window is
+    // open is attributed to the GrayWindow resource (correlated-only
+    // overlap falls back to FaultWindow), and the attribution invariants
+    // still hold — new reject sources may not leave orphans.
+    let at = |ms: u64| SimTime::ZERO + Duration::from_millis(ms);
+    let mut cfg = traced_config(65);
+    cfg.faults = FaultPlan::new()
+        .gray_flap(
+            1,
+            at(100),
+            Duration::from_secs(2),
+            Duration::from_millis(20),
+            60,
+            15.0,
+        )
+        .scoped(
+            FaultScope::Group {
+                label: ScopeLabel::Rack(0),
+                members: vec![0, 1],
+            },
+            at(150),
+            Duration::from_secs(2),
+            FaultKind::FailSlowDisk {
+                multiplier: 4.0,
+                ramp: Duration::from_millis(10),
+            },
+        );
+    let res = run_experiment(cfg);
+    assert!(res.injected_faults > 0, "the plan must fire");
+    assert!(res.ebusy > 0, "need rejections under the gray window");
+    let events = res.trace.events();
+    verify_attribution_invariants(&events).expect("attribution invariant under gray faults");
+    let summary = AttributionSummary::from_events(&events, mittos_repro::os::DEFAULT_HOP);
+    let gray = summary.cluster_counts[Resource::GrayWindow.code() as usize];
+    assert!(
+        gray > 0,
+        "no cluster-level GrayWindow attribution: counts={:?}",
+        summary.cluster_counts
+    );
 }
 
 #[test]
