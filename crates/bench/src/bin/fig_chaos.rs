@@ -50,6 +50,16 @@ fn gen_cfg(topo: &Topology, intensity: f64, ops: usize) -> PlanGenConfig {
     cfg
 }
 
+/// The breaker cooldown the sweep's resilience runs use, shared with the
+/// invariant checker's cooldown-vs-flap near-miss probe.
+fn breaker_cooldown(resilience: bool) -> Duration {
+    if resilience {
+        ResilienceConfig::default().breaker.cooldown
+    } else {
+        Duration::ZERO
+    }
+}
+
 fn run_cfg(
     seed: u64,
     strategy: Strategy,
@@ -77,6 +87,7 @@ fn audit(
     plan: &FaultPlan,
     res: &ExperimentResult,
     expected_ops: u64,
+    breaker_cooldown: Duration,
 ) -> (invariants::InvariantReport, u64, u64) {
     let events = res.trace.events();
     let mut correlated = 0u64;
@@ -116,6 +127,7 @@ fn audit(
         unavailability_budget: budget,
         fault_windows: &coverage,
         breaker_transitions: &res.breaker_transitions,
+        breaker_cooldown,
         attribution: Some(attribution),
     };
     (invariants::check(&input), correlated, gray)
@@ -152,6 +164,8 @@ fn main() {
     let mut gray_active = 0u64;
     let mut checks = 0u64;
     let mut violations: Vec<String> = Vec::new();
+    let mut near_misses = 0u64;
+    let mut close_calls = 0u64;
 
     for &seed in &SEEDS {
         for (p, &intensity) in INTENSITIES.iter().enumerate().take(PLANS_PER_SEED) {
@@ -167,6 +181,9 @@ fn main() {
                 plan.gray_events(),
                 plan.digest()
             ));
+            // Per-plan near-miss summary: how much slack each passing
+            // invariant had under this plan, across the strategy set.
+            let mut plan_near: Vec<String> = Vec::new();
             for (name, strategy, resilience) in strategies() {
                 let cfg = run_cfg(seed, strategy, resilience, &plan, ops);
                 let mut res = trace_flag().run(cfg);
@@ -174,17 +191,34 @@ fn main() {
                 injected += res.injected_faults;
                 degraded += res.degraded_ios;
                 let expected = ops as u64;
-                let (audit_report, corr, gray) = audit(&plan, &res, expected);
+                let (audit_report, corr, gray) =
+                    audit(&plan, &res, expected, breaker_cooldown(resilience));
                 correlated_active += corr;
                 gray_active += gray;
                 checks += audit_report.checked;
                 for v in &audit_report.violations {
                     violations.push(format!("seed {seed} plan {p} {name}: {v}"));
                 }
+                near_misses += audit_report.near_misses.len() as u64;
+                for nm in &audit_report.near_misses {
+                    if nm.is_close() {
+                        close_calls += 1;
+                    }
+                    plan_near.push(format!(
+                        "{name} {}: margin {}us of {}us{}",
+                        nm.invariant,
+                        nm.margin.as_nanos() / 1_000,
+                        nm.budget.as_nanos() / 1_000,
+                        if nm.is_close() { " (CLOSE)" } else { "" }
+                    ));
+                }
                 report.strategies.push(StrategyRow::from_result(
                     &format!("s{seed}.p{p}.{name}"),
                     &mut res,
                 ));
+            }
+            for line in &plan_near {
+                progress::note(&format!("seed {seed} plan {p} near-miss: {line}"));
             }
         }
     }
@@ -225,6 +259,8 @@ fn main() {
     println!("degraded_ios={degraded}");
     println!("invariant_checks={checks}");
     println!("invariant_violations={}", violations.len());
+    println!("near_misses={near_misses}");
+    println!("near_miss_close_calls={close_calls}");
     println!("double_run_digest_match={}", u64::from(digest_match));
 
     bench_json().finish_or_exit(&report);

@@ -31,6 +31,7 @@ use mitt_sched::{Cfq, CfqConfig, DiskScheduler, Noop};
 use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_trace::report::{CACHE_HIT_COUNTER, EBUSY_COUNTER, PREDICT_ERROR_HIST, SUBMIT_COUNTER};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 use mittos::{
     decide, profile_disk, profile_ssd, CacheVerdict, Decision, DiskProfile, ErrorInjector,
     MittCache, MittCfq, MittNoop, MittSsd, Slo, ADDRCHECK_COST,
@@ -411,6 +412,7 @@ pub struct Node {
     ebusy_times: Vec<SimTime>,
     trace: TraceSink,
     prof: ProfSink,
+    tsl: TslSink,
     /// Predicted wait of each admitted, traced IO, resolved against the
     /// actual wait at completion to feed the prediction-error histogram.
     pred_wait: HashMap<IoId, Duration>,
@@ -482,6 +484,7 @@ impl Node {
             ebusy_times: Vec::new(),
             trace: TraceSink::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
             pred_wait: HashMap::new(),
         }
     }
@@ -529,6 +532,30 @@ impl Node {
             cs.mitt.set_prof(sink.clone());
         }
         self.prof = sink.clone();
+    }
+
+    /// Attaches a windowed-timeline sink, tagging it with this node's id
+    /// and fanning node-scoped handles into the predictors, the scheduler
+    /// and both devices (mirroring [`Node::set_trace`]). Timeline rollups
+    /// are pure observation: no events, no RNG (digest-neutrality).
+    pub fn set_tsl(&mut self, sink: &TslSink) {
+        let sink = sink.for_node(self.id as u32);
+        if let Some(ds) = &mut self.disk {
+            match &mut ds.mitt {
+                DiskMitt::Noop(m) => m.set_tsl(sink.clone()),
+                DiskMitt::Cfq(m) => m.set_tsl(sink.clone()),
+            }
+            ds.sched.set_tsl(sink.clone());
+            ds.disk.set_tsl(sink.clone());
+        }
+        if let Some(ss) = &mut self.ssd {
+            ss.ssd.set_tsl(sink.clone());
+            ss.mitt.set_tsl(sink.clone());
+        }
+        if let Some(cs) = &mut self.cache {
+            cs.mitt.set_tsl(sink.clone());
+        }
+        self.tsl = sink;
     }
 
     /// Attaches a fault clock, tagging it with this node's id and fanning
@@ -774,6 +801,7 @@ impl Node {
         match decision {
             Decision::Reject { predicted_wait } => {
                 let (resource, depth) = ds.mitt.attribution(now);
+                self.tsl.record_reject(now, resource);
                 self.ebusy_times.push(now);
                 self.trace.count(EBUSY_COUNTER, 1);
                 self.trace.emit(
@@ -795,6 +823,7 @@ impl Node {
                 }
             }
             Decision::Admit { .. } => {
+                self.tsl.record_admit(now);
                 if self.trace.is_enabled() {
                     self.pred_wait.insert(io.id, wait);
                 }
@@ -816,6 +845,7 @@ impl Node {
                     let (resource, depth) = ds.mitt.attribution(now);
                     for id in &bumped {
                         ds.sched.cancel(*id);
+                        self.tsl.record_reject(now, resource);
                         self.ebusy_times.push(now);
                         self.trace.count(EBUSY_COUNTER, 1);
                         self.trace.emit(
@@ -875,6 +905,7 @@ impl Node {
         match decision {
             Decision::Reject { predicted_wait } => {
                 let (resource, inflight) = ss.mitt.attribution(now);
+                self.tsl.record_reject(now, resource);
                 self.ebusy_times.push(now);
                 self.trace.count(EBUSY_COUNTER, 1);
                 self.trace.emit(
@@ -896,6 +927,7 @@ impl Node {
                 }
             }
             Decision::Admit { .. } => {
+                self.tsl.record_admit(now);
                 if self.trace.is_enabled() {
                     self.pred_wait.insert(io.id, wait);
                 }

@@ -37,6 +37,7 @@ use mitt_prof::{GaugeSample, Phase, ProfSink};
 use mitt_sim::{Duration, EventQueue, LatencyRecorder, SimRng, SimTime};
 use mitt_trace::report::{NET_HOP_COUNTER, NET_HOP_FAULTED_COUNTER, NET_HOP_HIST};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink, CLUSTER_NODE, DEFAULT_RING_CAPACITY};
+use mitt_tsl::{TslConfig, TslSink};
 use mitt_workload::{KeyDist, NoiseBurst, YcsbConfig, YcsbGenerator};
 use mittos::DeadlineTuner;
 
@@ -261,6 +262,15 @@ pub struct ExperimentConfig {
     /// draws or schedules events, so digests are identical with it on or
     /// off for the same seed.
     pub prof: bool,
+    /// Windowed tail-latency timelines and SLO burn-rate alerting (see
+    /// `mitt-tsl`): per-window percentile/EBUSY rollups land in
+    /// [`ExperimentResult::tsl`]. Rollups are inline — no events, no RNG —
+    /// so the trace digest is identical with this on or off; the timeline
+    /// itself folds into the run digest. A `deadline` left at ZERO is
+    /// substituted with the strategy's own SLO deadline (20 ms for
+    /// deadline-less strategies) so Base and MittOS runs are judged
+    /// against the same SLO.
+    pub tsl: Option<TslConfig>,
     /// Scheduled fault injection (empty = healthy run; the RNG streams and
     /// digests of planless runs are untouched).
     pub faults: FaultPlan,
@@ -300,6 +310,7 @@ impl ExperimentConfig {
             monotonic_guard: false,
             trace: false,
             prof: false,
+            tsl: None,
             faults: FaultPlan::default(),
             resilience: None,
         }
@@ -334,6 +345,7 @@ impl ExperimentConfig {
             monotonic_guard: false,
             trace: false,
             prof: false,
+            tsl: None,
             faults: FaultPlan::default(),
             resilience: None,
         }
@@ -379,6 +391,10 @@ pub struct ExperimentResult {
     /// [`ExperimentConfig::prof`] was set): export with `report_json()` /
     /// `folded_stacks()`. Never feeds the run digest.
     pub prof: ProfSink,
+    /// The run's windowed-timeline sink (disabled unless
+    /// [`ExperimentConfig::tsl`] was set): export with `export_json()`;
+    /// alerts, near-misses and flight dumps are queryable directly.
+    pub tsl: TslSink,
     /// Fault windows the run activated (0 on a healthy run).
     pub injected_faults: u64,
     /// Messages eaten by `NetDrop` windows (each cost one retransmit).
@@ -603,6 +619,10 @@ pub struct ClusterSim {
     /// Next virtual time the profiler samples its live gauges; sampling is
     /// done inline in `handle()` so no extra events perturb the queue.
     next_prof_sample: SimTime,
+    /// Windowed-timeline handle, cluster-tagged (disabled unless
+    /// `cfg.tsl`). Window advancement happens inline in `handle()` so no
+    /// extra events perturb the queue.
+    tsl: TslSink,
     result: ExperimentResult,
     completed_users: usize,
     target_users: usize,
@@ -700,6 +720,7 @@ impl ClusterSim {
             down,
             prof: ProfSink::disabled(),
             next_prof_sample: SimTime::ZERO,
+            tsl: TslSink::disabled(),
             result: ExperimentResult {
                 user_latencies: LatencyRecorder::new(),
                 get_latencies: LatencyRecorder::new(),
@@ -712,6 +733,7 @@ impl ClusterSim {
                 finished_at: SimTime::ZERO,
                 trace: TraceSink::disabled(),
                 prof: ProfSink::disabled(),
+                tsl: TslSink::disabled(),
                 injected_faults: 0,
                 dropped_messages: 0,
                 distorted_predictions: 0,
@@ -740,6 +762,24 @@ impl ClusterSim {
             }
             sim.prof = sink.clone();
             sim.result.prof = sink;
+        }
+        if let Some(mut t) = sim.cfg.tsl {
+            if t.deadline.is_zero() {
+                // Judge every strategy against the same SLO: the MittOS
+                // deadline when the strategy carries one, 20 ms (the
+                // paper's disk p95) otherwise.
+                t.deadline = match sim.cfg.strategy {
+                    Strategy::MittOs { deadline } | Strategy::MittOsWait { deadline } => deadline,
+                    Strategy::MittOsAuto { initial } => initial,
+                    _ => Duration::from_millis(20),
+                };
+            }
+            let sink = TslSink::enabled(t, sim.cfg.strategy.name());
+            for node in &mut sim.nodes {
+                node.set_tsl(&sink);
+            }
+            sim.tsl = sink.for_node(CLUSTER_NODE);
+            sim.result.tsl = sim.tsl.clone();
         }
         if sim.fault_clock.is_enabled() {
             let clock = sim.fault_clock.clone();
@@ -900,9 +940,33 @@ impl ClusterSim {
         });
     }
 
+    /// Inline timeline bookkeeping: advances the window clock and, when a
+    /// burn-rate alert (or near-miss) just armed the flight recorder,
+    /// snapshots the trace-ring tail plus current breaker states into a
+    /// bounded dump. Pure observation — reads the ring, consumes no RNG,
+    /// schedules nothing — so digests are untouched by enabling it.
+    fn tsl_tick(&mut self, now: SimTime) {
+        if self.tsl.tick(now) {
+            let events = self
+                .result
+                .trace
+                .tail_events(self.tsl.config().map_or(0, |c| c.flight_events));
+            let breakers = self
+                .breakers
+                .iter()
+                .enumerate()
+                .map(|(n, b)| (n as u32, u64::from(b.state(now).code())))
+                .collect();
+            self.tsl.flight_record(events, breakers, now);
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Ev) {
         if self.prof.is_enabled() {
             self.prof_tick(now);
+        }
+        if self.tsl.is_enabled() {
+            self.tsl_tick(now);
         }
         let _dispatch = self.prof.phase(Phase::Dispatch);
         match ev {
@@ -1745,6 +1809,7 @@ impl ClusterSim {
             TryResult::Ok { .. } => self.complete_op(op, attempt, now),
             TryResult::Busy { wait, resource } => {
                 self.result.ebusy += 1;
+                self.tsl.record_ebusy(now, resource);
                 self.ops[op].busy_waits.push((node, wait));
                 // A rejection issued while the replica sat inside a gray or
                 // correlated fault window gets a cluster-level attribution
@@ -1999,6 +2064,7 @@ impl ClusterSim {
         }
         let latency = now.saturating_since(self.ops[op].started);
         self.result.get_latencies.record(latency);
+        self.tsl.observe_get(now, latency);
         self.result.completion_times.push(now);
         let user = self.ops[op].user;
         self.users[user].remaining -= 1;
@@ -2363,6 +2429,19 @@ impl ClusterSim {
             self.result.dropped_messages = self.fault_clock.dropped_messages();
             self.result.distorted_predictions = self.fault_clock.distorted_predictions();
             self.result.degraded_ios = self.fault_clock.degraded_ios();
+        }
+        if self.tsl.is_enabled() {
+            let now = self.q.now();
+            // Breaker transition logs are drained post-hoc (just above):
+            // back-fill their windows so timelines carry open/close counts.
+            for &(node, tr) in &self.result.breaker_transitions {
+                self.tsl
+                    .record_breaker_transition(node as u32, tr.at, u64::from(tr.to.code()));
+            }
+            self.tsl.finish(now);
+            // An alert fired by the final (partial) window still deserves
+            // its snapshot.
+            self.tsl_tick(now);
         }
         self.prof.finish(self.q.now());
     }

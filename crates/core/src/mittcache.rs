@@ -18,6 +18,7 @@ use mitt_oscache::{PageCache, RangeCheck};
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{Resource, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::slo::Slo;
 
@@ -55,6 +56,7 @@ pub struct MittCache {
     trace: TraceSink,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl MittCache {
@@ -66,6 +68,7 @@ impl MittCache {
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
         }
     }
 
@@ -87,6 +90,14 @@ impl MittCache {
     /// spurious EBUSYs (over-rejection) while active.
     pub fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    /// Attaches a windowed-timeline sink; each check is bucketed into its
+    /// sim-time window as an admit (hit/miss) or reject (EBUSY) — see
+    /// `mitt-tsl`. Rollups happen inline — no events, no RNG — so
+    /// attaching one never alters verdicts.
+    pub fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 
     /// The storage floor used for the residency-expectation test.
@@ -119,6 +130,7 @@ impl MittCache {
         let rc: RangeCheck = cache.addrcheck(offset, len);
         if rc.resident {
             self.trace.count(Subsystem::MittCache.admit_counter(), 1);
+            self.tsl.record_admit(now);
             return CacheVerdict::Hit;
         }
         // A miscalibration fault inflates the perceived storage floor, so
@@ -130,12 +142,14 @@ impl MittCache {
             // first-time accesses fall through to the device.
             if slo.deadline < floor && rc.contended {
                 self.trace.count(Subsystem::MittCache.reject_counter(), 1);
+                self.tsl.record_reject(now, self.attribution(now));
                 return CacheVerdict::Busy {
                     refill: rc.missing_pages,
                 };
             }
         }
         self.trace.count(Subsystem::MittCache.admit_counter(), 1);
+        self.tsl.record_admit(now);
         CacheVerdict::Miss {
             missing_pages: rc.missing_pages,
             contended: rc.contended,

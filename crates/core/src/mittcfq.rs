@@ -27,6 +27,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::profile::DiskProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -88,6 +89,7 @@ pub struct MittCfq {
     trace: TraceSink,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl MittCfq {
@@ -108,6 +110,7 @@ impl MittCfq {
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
         }
     }
 
@@ -128,6 +131,14 @@ impl MittCfq {
     /// estimate fed into admission decisions (ledgers stay accurate).
     pub fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    /// Attaches a windowed-timeline sink; each admit/reject decision is
+    /// bucketed into its sim-time window (see `mitt-tsl`). Rollups happen
+    /// inline — no events, no RNG — so attaching one never alters
+    /// decisions.
+    pub fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 
     fn bucket_of(ns: i64) -> i64 {
@@ -210,12 +221,15 @@ impl MittCfq {
         if let Decision::Reject { .. } = decision {
             self.rejected += 1;
             self.trace.count(Subsystem::MittCfq.reject_counter(), 1);
+            let (resource, _) = self.attribution(now);
+            self.tsl.record_reject(now, resource);
             return CfqAdmission {
                 decision,
                 bumped: Vec::new(),
             };
         }
         self.trace.count(Subsystem::MittCfq.admit_counter(), 1);
+        self.tsl.record_admit(now);
         let bumped = self.account(io, now);
         CfqAdmission { decision, bumped }
     }

@@ -22,6 +22,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::profile::DiskProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -42,6 +43,7 @@ pub struct MittNoop {
     trace: TraceSink,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl MittNoop {
@@ -58,6 +60,7 @@ impl MittNoop {
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
         }
     }
 
@@ -79,6 +82,14 @@ impl MittNoop {
     /// accurate, so calibration is unaffected).
     pub fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    /// Attaches a windowed-timeline sink; each admit/reject decision is
+    /// bucketed into its sim-time window (see `mitt-tsl`). Rollups happen
+    /// inline — no events, no RNG — so attaching one never alters
+    /// decisions.
+    pub fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 
     /// SLO-attribution context for a rejection decided at `now`: the
@@ -136,10 +147,13 @@ impl MittNoop {
             Decision::Reject { .. } => {
                 self.rejected += 1;
                 self.trace.count(Subsystem::MittNoop.reject_counter(), 1);
+                let (resource, _) = self.attribution(now);
+                self.tsl.record_reject(now, resource);
             }
             Decision::Admit { .. } => {
                 self.account(io, now);
                 self.trace.count(Subsystem::MittNoop.admit_counter(), 1);
+                self.tsl.record_admit(now);
             }
         }
         decision

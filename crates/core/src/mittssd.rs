@@ -21,6 +21,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Resource, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::profile::SsdProfile;
 use crate::slo::{decide, Decision, Slo};
@@ -48,6 +49,7 @@ pub struct MittSsd {
     trace: TraceSink,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl MittSsd {
@@ -70,6 +72,7 @@ impl MittSsd {
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
         }
     }
 
@@ -91,6 +94,14 @@ impl MittSsd {
     /// stays accurate).
     pub fn set_faults(&mut self, clock: FaultClock) {
         self.faults = clock;
+    }
+
+    /// Attaches a windowed-timeline sink; each admit/reject decision is
+    /// bucketed into its sim-time window (see `mitt-tsl`). Rollups happen
+    /// inline — no events, no RNG — so attaching one never alters
+    /// decisions.
+    pub fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 
     fn chip_of_page(&self, lpn: u64) -> usize {
@@ -167,9 +178,12 @@ impl MittSsd {
         if let Decision::Reject { .. } = decision {
             self.rejected += 1;
             self.trace.count(Subsystem::MittSsd.reject_counter(), 1);
+            let (resource, _) = self.attribution(now);
+            self.tsl.record_reject(now, resource);
             return decision;
         }
         self.trace.count(Subsystem::MittSsd.admit_counter(), 1);
+        self.tsl.record_admit(now);
         self.account(io, now);
         decision
     }

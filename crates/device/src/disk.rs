@@ -17,6 +17,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimRng, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::io::{BlockIo, IoId};
 
@@ -154,6 +155,7 @@ pub struct Disk {
     in_flight: Option<InFlight>,
     served: u64,
     trace: TraceSink,
+    tsl: TslSink,
     faults: FaultClock,
     prof: ProfSink,
 }
@@ -169,6 +171,7 @@ impl Disk {
             in_flight: None,
             served: 0,
             trace: TraceSink::disabled(),
+            tsl: TslSink::disabled(),
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
         }
@@ -183,6 +186,13 @@ impl Disk {
     /// as the `Device` phase. Never influences service-time sampling.
     pub fn set_prof(&mut self, sink: ProfSink) {
         self.prof = sink;
+    }
+
+    /// Attaches a windowed-timeline sink; each completion's service time is
+    /// bucketed into its sim-time window (see `mitt-tsl`). Inline rollup
+    /// only — never influences service-time sampling.
+    pub fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 
     /// Attaches a fault clock; fail-slow windows scale service times.
@@ -318,6 +328,7 @@ impl Disk {
             fl.done_at
         );
         self.served += 1;
+        self.tsl.observe_service(now, fl.service);
         self.trace.emit(
             now,
             Subsystem::Disk,

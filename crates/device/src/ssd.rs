@@ -18,6 +18,7 @@
 use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::{Duration, SimRng, SimTime};
+use mitt_tsl::TslSink;
 
 use crate::io::{BlockIo, IoId, IoKind};
 
@@ -180,6 +181,7 @@ pub struct Ssd {
     served_pages: u64,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl Ssd {
@@ -201,6 +203,7 @@ impl Ssd {
             served_pages: 0,
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
         }
     }
 
@@ -213,6 +216,13 @@ impl Ssd {
     /// as the `Device` phase. Never influences busy-time sampling.
     pub fn set_prof(&mut self, sink: ProfSink) {
         self.prof = sink;
+    }
+
+    /// Attaches a windowed-timeline sink; each page sub-IO's chip busy
+    /// time is bucketed into the window of its completion (see `mitt-tsl`).
+    /// Inline rollup only — never influences busy-time sampling.
+    pub fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 
     /// The device's static parameters.
@@ -301,6 +311,7 @@ impl Ssd {
                 self.spec.channel_delay * u64::from(self.channel_outstanding[channel]);
             let done_at = self.chips[chip].next_free + queue_delay;
             self.channel_outstanding[channel] += 1;
+            self.tsl.observe_service(done_at, busy);
             if io.kind == IoKind::Write {
                 self.chips[chip].writes_since_gc += 1;
                 if let Some(gc) = self.maybe_gc(chip) {

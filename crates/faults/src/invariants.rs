@@ -38,6 +38,7 @@
 
 use mitt_sim::{Duration, SimTime};
 use mitt_trace::{EventKind, Subsystem, TraceEvent};
+use mitt_tsl::NearMiss;
 
 use crate::breaker::{BreakerState, BreakerTransition, TransitionCause};
 use crate::FaultPlan;
@@ -64,6 +65,10 @@ pub struct InvariantInput<'a> {
     /// Per-replica breaker transition logs as `(node, transition)` pairs,
     /// in per-node chronological order.
     pub breaker_transitions: &'a [(usize, BreakerTransition)],
+    /// The breakers' configured cooldown, for the cooldown-vs-flap margin
+    /// (ZERO disables that near-miss probe; legality checks are
+    /// unaffected).
+    pub breaker_cooldown: Duration,
     /// Outcome of the obs-layer attribution check, if the caller ran it.
     pub attribution: Option<Result<(), String>>,
 }
@@ -76,6 +81,10 @@ pub struct InvariantReport {
     pub checked: u64,
     /// All violations found, in check order.
     pub violations: Vec<String>,
+    /// Invariants that *passed* but with measured slack — how close the run
+    /// came to each budget. Surfaced through `mitt-tsl` (a close margin
+    /// arms its flight recorder) and the chaos harness's per-plan summary.
+    pub near_misses: Vec<NearMiss>,
 }
 
 impl InvariantReport {
@@ -240,6 +249,12 @@ fn check_unavailability(input: &InvariantInput<'_>, report: &mut InvariantReport
             worst.as_nanos() / 1_000,
             budget.as_nanos() / 1_000
         ));
+    } else if !times.is_empty() {
+        report.near_misses.push(NearMiss {
+            invariant: "bounded_unavailability",
+            margin: budget.saturating_sub(worst),
+            budget,
+        });
     }
 }
 
@@ -282,6 +297,39 @@ fn check_breaker_legality(input: &InvariantInput<'_>, report: &mut InvariantRepo
             ));
         }
     }
+    // Cooldown-vs-flap margin: the shortest closed dwell (a legal
+    // ProbeSuccess close followed by the same breaker re-opening) measured
+    // against the cooldown. A dwell under the cooldown is legal — only
+    // *closing* is probe-gated — but a short one means the gray window was
+    // flapping just slower than the breaker could track: the exact regime
+    // the probe-gated close exists for.
+    if input.breaker_cooldown > Duration::ZERO {
+        let mut worst_dwell: Option<Duration> = None;
+        let mut closed_at: Vec<(usize, SimTime)> = Vec::new();
+        for &(node, tr) in input.breaker_transitions {
+            match tr.to {
+                BreakerState::Closed => match closed_at.iter_mut().find(|(n, _)| *n == node) {
+                    Some(slot) => slot.1 = tr.at,
+                    None => closed_at.push((node, tr.at)),
+                },
+                BreakerState::Open => {
+                    if let Some(pos) = closed_at.iter().position(|(n, _)| *n == node) {
+                        let (_, at) = closed_at.swap_remove(pos);
+                        let dwell = tr.at.saturating_since(at);
+                        worst_dwell = Some(worst_dwell.map_or(dwell, |w| w.min(dwell)));
+                    }
+                }
+                BreakerState::HalfOpen => {}
+            }
+        }
+        if let Some(dwell) = worst_dwell {
+            report.near_misses.push(NearMiss {
+                invariant: "breaker_cooldown_flap",
+                margin: dwell.min(input.breaker_cooldown),
+                budget: input.breaker_cooldown,
+            });
+        }
+    }
 }
 
 fn check_attribution(input: &InvariantInput<'_>, report: &mut InvariantReport) {
@@ -319,6 +367,7 @@ mod tests {
             unavailability_budget: Duration::from_millis(500),
             fault_windows: &[],
             breaker_transitions: transitions,
+            breaker_cooldown: Duration::ZERO,
             attribution: Some(Ok(())),
         }
     }
@@ -491,6 +540,88 @@ mod tests {
         assert_eq!(report.violations.len(), 2);
         assert!(report.violations[0].contains("stranded ops: 1 of 3"));
         assert!(report.violations[1].contains("attribution"));
+    }
+
+    #[test]
+    fn passing_unavailability_records_slack_near_miss() {
+        let times = [SimTime::from_nanos(100), SimTime::from_nanos(9_900)];
+        let mut input = base_input(&[], &times, &[]);
+        input.unavailability_budget = Duration::from_nanos(10_000);
+        let report = check(&input);
+        assert!(report.pass());
+        let nm = report
+            .near_misses
+            .iter()
+            .find(|n| n.invariant == "bounded_unavailability")
+            .expect("slack recorded");
+        // Worst gap is 9_800ns; slack = 200ns of a 10_000ns budget.
+        assert_eq!(nm.margin, Duration::from_nanos(200));
+        assert_eq!(nm.budget, Duration::from_nanos(10_000));
+        assert!(nm.is_close(), "200/10_000 is well under a quarter");
+    }
+
+    #[test]
+    fn closed_dwell_under_cooldown_records_flap_margin() {
+        let tr = |from, to, cause, at| BreakerTransition {
+            at: SimTime::from_nanos(at),
+            from,
+            to,
+            cause,
+        };
+        let log = [
+            (
+                0usize,
+                tr(
+                    BreakerState::Closed,
+                    BreakerState::Open,
+                    TransitionCause::FailureThreshold,
+                    10,
+                ),
+            ),
+            (
+                0usize,
+                tr(
+                    BreakerState::HalfOpen,
+                    BreakerState::Closed,
+                    TransitionCause::ProbeSuccess,
+                    1_000,
+                ),
+            ),
+            // Re-opens 400ns after closing: dwell 400 vs cooldown 50_000.
+            (
+                0usize,
+                tr(
+                    BreakerState::Closed,
+                    BreakerState::Open,
+                    TransitionCause::FailureThreshold,
+                    1_400,
+                ),
+            ),
+        ];
+        let times = [SimTime::from_nanos(1)];
+        let mut input = base_input(&[], &times, &log);
+        input.breaker_cooldown = Duration::from_nanos(50_000);
+        let report = check(&input);
+        assert!(
+            report.pass(),
+            "short dwell is legal: {:?}",
+            report.violations
+        );
+        let nm = report
+            .near_misses
+            .iter()
+            .find(|n| n.invariant == "breaker_cooldown_flap")
+            .expect("dwell margin recorded");
+        assert_eq!(nm.margin, Duration::from_nanos(400));
+        assert!(nm.is_close());
+        // With no re-open the probe records nothing.
+        let times = [SimTime::from_nanos(1)];
+        let mut quiet = base_input(&[], &times, &log[..2]);
+        quiet.breaker_cooldown = Duration::from_nanos(50_000);
+        assert!(!check(&quiet)
+            .near_misses
+            .iter()
+            .any(|n| n.invariant == "breaker_cooldown_flap"));
     }
 
     #[test]

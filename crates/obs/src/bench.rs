@@ -229,14 +229,30 @@ impl BenchReport {
         out
     }
 
-    /// Parses a report; rejects unknown schemas and malformed documents.
+    /// Parses a report; rejects malformed documents and unknown schemas.
+    ///
+    /// Newer report formats (e.g. `mitt-tsl/v1` timeline exports) may carry
+    /// a complete bench report embedded under a top-level `"bench"`
+    /// section; when the document's own schema is not `mitt-bench/v1` the
+    /// parser descends into that section instead of failing, skipping
+    /// whatever other top-level sections the newer schema added. A foreign
+    /// schema *without* an embedded report is still an error.
     pub fn parse(s: &str) -> Result<BenchReport, String> {
         let v = JsonValue::parse(s)?;
-        let schema = str_field(&v, "schema")?;
+        Self::from_value(&v)
+    }
+
+    fn from_value(v: &JsonValue) -> Result<BenchReport, String> {
+        let schema = str_field(v, "schema")?;
         if schema != BENCH_SCHEMA {
-            return Err(format!("unsupported schema '{schema}'"));
+            if let Some(inner) = v.get("bench") {
+                return Self::from_value(inner);
+            }
+            return Err(format!(
+                "unsupported schema '{schema}' (and no embedded 'bench' section)"
+            ));
         }
-        let mut report = BenchReport::new(&str_field(&v, "fig")?, 0, 0);
+        let mut report = BenchReport::new(&str_field(v, "fig")?, 0, 0);
         report.seed = num_field(&v, "seed")? as u64;
         report.scale = num_field(&v, "scale")? as u64;
         for row in v
@@ -461,5 +477,43 @@ mod tests {
     fn unknown_schema_is_rejected() {
         let doc = sample().to_json().replace("mitt-bench/v1", "mitt-bench/v0");
         assert!(BenchReport::parse(&doc).is_err());
+    }
+
+    #[test]
+    fn embedded_bench_section_in_newer_schema_parses() {
+        // mitt-tsl/v1-style wrapper: a foreign schema with sections the
+        // bench parser has never heard of, plus a complete report under
+        // "bench". compare() against such a document must keep working.
+        let inner = sample().to_json();
+        let doc = format!(
+            "{{\n  \"schema\": \"mitt-tsl/v1\",\n  \"timelines\": [],\n  \
+             \"alerts\": [{{\"kind\": \"fast_burn\"}}],\n  \"bench\": {inner}}}\n"
+        );
+        let parsed = BenchReport::parse(&doc).unwrap();
+        assert_eq!(parsed.fig, "fig9");
+        assert_eq!(parsed.to_json(), inner);
+        assert!(sample()
+            .compare(&parsed, CompareThresholds::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn foreign_schema_without_embedded_bench_is_rejected() {
+        let err =
+            BenchReport::parse("{\"schema\": \"mitt-prof/v1\", \"profiles\": []}").unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn unknown_extra_top_level_sections_are_skipped() {
+        // A newer producer may append sections to a mitt-bench/v1 doc; the
+        // parser reads the fields it knows and ignores the rest.
+        let doc = sample().to_json().replacen(
+            "{\n",
+            "{\n  \"future_section\": {\"x\": 1},\n  \"blobs\": [1, 2, 3],\n",
+            1,
+        );
+        let parsed = BenchReport::parse(&doc).unwrap();
+        assert_eq!(parsed.to_json(), sample().to_json());
     }
 }

@@ -31,6 +31,7 @@ pub mod bench;
 pub mod calibration;
 pub mod json;
 pub mod replay;
+pub mod timeline;
 
 pub use attribution::{verify_attribution_invariants, AttributionSummary};
 pub use bench::{BenchReport, CalibrationRow, CompareThresholds, StrategyRow, BENCH_SCHEMA};
@@ -42,3 +43,4 @@ pub use replay::{
     classify, p95_wait, replay_audit, replay_audit_traced, replay_audit_with_ablation, AuditStats,
     TracedReplay, REPLAY_RING,
 };
+pub use timeline::chrome_export_with_timeline;

@@ -1,0 +1,93 @@
+//! Chrome-trace export with mitt-tsl timeline counter tracks.
+//!
+//! [`chrome_export_with_timeline`] merges a run's trace ring with the
+//! counter samples a [`TslSink`] synthesizes at every cluster window end
+//! (`tsl.p99_us`, `tsl.burn_milli`), so the windowed tail and SLO
+//! burn-rate render as counter tracks directly above the Fault/Gray
+//! spans that caused them. Both inputs are derived from the virtual
+//! clock, so the merged JSON is byte-identical across same-seed runs.
+
+use mitt_trace::{TraceEvent, TraceSink};
+use mitt_tsl::TslSink;
+
+/// Chrome-trace export with the timeline's per-window counter tracks
+/// interleaved: each closed cluster window contributes a `ph:"C"` sample
+/// pair (window p99 in µs, SLO burn rate in milli-burns) at the window's
+/// end timestamp. Counter samples sort before trace events that share a
+/// timestamp so the window summary precedes the ops of the next window.
+pub fn chrome_export_with_timeline(sink: &TraceSink, tsl: &TslSink) -> String {
+    let events = sink.events();
+    let counters = tsl.counter_events();
+    let mut merged: Vec<TraceEvent> = Vec::with_capacity(events.len() + counters.len());
+    let mut pending = counters.into_iter().peekable();
+    for ev in events {
+        while pending.peek().is_some_and(|c| c.at <= ev.at) {
+            merged.push(pending.next().expect("peeked"));
+        }
+        merged.push(ev);
+    }
+    merged.extend(pending);
+    mitt_trace::chrome::export(merged.into_iter(), sink.dropped())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitt_sim::{Duration, SimTime};
+    use mitt_trace::{EventKind, Subsystem};
+    use mitt_tsl::TslConfig;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn timeline_counters_are_merged_in_time_order() {
+        let trace = TraceSink::enabled(64);
+        trace.emit(
+            at_ms(1),
+            Subsystem::Node,
+            EventKind::Submit { io: 1, len: 4096 },
+        );
+        trace.emit(
+            at_ms(150),
+            Subsystem::Node,
+            EventKind::Complete {
+                io: 1,
+                wait: Duration::ZERO,
+            },
+        );
+
+        let cfg = TslConfig {
+            window: Duration::from_millis(100),
+            deadline: Duration::from_millis(5),
+            ..TslConfig::default()
+        };
+        let tsl = TslSink::enabled(cfg, "mittos");
+        tsl.observe_get(at_ms(50), Duration::from_millis(20));
+        tsl.finish(at_ms(150));
+
+        let json = chrome_export_with_timeline(&trace, &tsl);
+        assert!(json.contains("tsl.p99_us"), "{json}");
+        assert!(json.contains("tsl.burn_milli"), "{json}");
+        // The window-0 counter sample (at 100 ms) lands between the two
+        // trace events, and the export stays deterministic.
+        let p99_pos = json.find("tsl.p99_us").unwrap();
+        let complete_pos = json.rfind("Complete").unwrap_or(usize::MAX);
+        assert!(p99_pos < complete_pos || complete_pos == usize::MAX);
+        assert_eq!(json, chrome_export_with_timeline(&trace, &tsl));
+    }
+
+    #[test]
+    fn disabled_sink_adds_no_tracks() {
+        let trace = TraceSink::enabled(8);
+        trace.emit(
+            at_ms(1),
+            Subsystem::Node,
+            EventKind::Submit { io: 1, len: 4096 },
+        );
+        let json = chrome_export_with_timeline(&trace, &TslSink::disabled());
+        assert!(!json.contains("tsl."));
+        assert_eq!(json, trace.export_chrome_json());
+    }
+}

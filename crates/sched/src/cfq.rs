@@ -21,6 +21,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::SimTime;
 use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::noop::QUEUED_SPAN;
 use crate::{DiskScheduler, DispatchOut};
@@ -91,6 +92,7 @@ pub struct Cfq {
     trace: TraceSink,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl Cfq {
@@ -104,6 +106,7 @@ impl Cfq {
             trace: TraceSink::disabled(),
             faults: FaultClock::disabled(),
             prof: ProfSink::disabled(),
+            tsl: TslSink::disabled(),
         }
     }
 
@@ -161,6 +164,7 @@ impl Cfq {
             };
             self.index.remove(&io.id);
             out.dispatched.push(io.id);
+            self.tsl.record_dispatch(now);
             self.trace.emit(
                 now,
                 Subsystem::Sched,
@@ -273,6 +277,10 @@ impl DiskScheduler for Cfq {
 
     fn set_prof(&mut self, sink: ProfSink) {
         self.prof = sink;
+    }
+
+    fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 }
 

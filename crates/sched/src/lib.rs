@@ -38,6 +38,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::ProfSink;
 use mitt_sim::SimTime;
 use mitt_trace::TraceSink;
+use mitt_tsl::TslSink;
 
 pub mod cfq;
 pub mod noop;
@@ -105,4 +106,10 @@ pub trait DiskScheduler {
     /// feeds back into scheduling decisions (digest-neutrality). The
     /// default implementation ignores it.
     fn set_prof(&mut self, _sink: ProfSink) {}
+
+    /// Attaches a windowed-timeline sink; schedulers bucket each dispatch
+    /// into the sim-time window it happened in (see `mitt-tsl`). Rollups
+    /// happen inline — no events, no RNG — so attaching one never perturbs
+    /// scheduling. The default implementation ignores it.
+    fn set_tsl(&mut self, _sink: TslSink) {}
 }

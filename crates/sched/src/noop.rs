@@ -7,6 +7,7 @@ use mitt_faults::FaultClock;
 use mitt_prof::{Phase, ProfSink};
 use mitt_sim::SimTime;
 use mitt_trace::{EventKind, Subsystem, TraceSink};
+use mitt_tsl::TslSink;
 
 use crate::{DiskScheduler, DispatchOut};
 
@@ -21,6 +22,7 @@ pub struct Noop {
     trace: TraceSink,
     faults: FaultClock,
     prof: ProfSink,
+    tsl: TslSink,
 }
 
 impl Noop {
@@ -39,6 +41,7 @@ impl Noop {
                 break;
             };
             out.dispatched.push(io.id);
+            self.tsl.record_dispatch(now);
             self.trace.emit(
                 now,
                 Subsystem::Sched,
@@ -115,6 +118,10 @@ impl DiskScheduler for Noop {
 
     fn set_prof(&mut self, sink: ProfSink) {
         self.prof = sink;
+    }
+
+    fn set_tsl(&mut self, sink: TslSink) {
+        self.tsl = sink;
     }
 }
 

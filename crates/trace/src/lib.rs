@@ -173,6 +173,17 @@ impl TraceSink {
             .map_or_else(Vec::new, |c| c.borrow().events.iter().copied().collect())
     }
 
+    /// A copy of the newest `n` buffered events, oldest first (the whole
+    /// ring when it holds fewer). This is the flight-recorder read path:
+    /// bounded, allocation-proportional to `n`, no drain.
+    pub fn tail_events(&self, n: usize) -> Vec<TraceEvent> {
+        self.core.as_ref().map_or_else(Vec::new, |c| {
+            let core = c.borrow();
+            let skip = core.events.len().saturating_sub(n);
+            core.events.iter().skip(skip).copied().collect()
+        })
+    }
+
     /// A snapshot of the metrics registry.
     pub fn metrics(&self) -> MetricsRegistry {
         self.core

@@ -253,4 +253,64 @@ else
     echo "   no baseline found; committed $thr_baseline (check it in)"
 fi
 
+echo "== fig_timeline smoke (mitt-tsl timelines + burn-rate alerts)"
+# Windowed timelines + SLO burn-rate alerting under a generated fault
+# plan: at least one fast-burn alert must fire, at least one alert span
+# must overlap an injected fault window, and the same-seed double run
+# must reproduce the mitt-tsl/v1 export byte-for-byte (the binary exits
+# 1 on any of those itself; the greps fail loudly if the trailers ever
+# disappear). The export embeds the run's mitt-bench/v1 report as its
+# "bench" section, and `mitt-obs compare` gates the timeline export
+# *directly* against the committed baseline — exercising the
+# unknown-schema skip path in the report parser.
+mkdir -p results
+tl_json="results/timeline.json"
+tl_out="$(mktemp /tmp/fig_timeline.XXXXXX.txt)"
+tl_bench="$(mktemp /tmp/BENCH_timeline.XXXXXX.json)"
+tl_baseline="baselines/BENCH_timeline.json"
+MITT_OPS=120 cargo run --quiet --release -p mitt-bench --bin fig_timeline -- \
+    --quiet --tsl-json "$tl_json" --bench-json "$tl_bench" >"$tl_out"
+if ! grep -qx 'double_run_tsl_identical=1' "$tl_out"; then
+    echo "fig_timeline: expected 'double_run_tsl_identical=1' in output:" >&2
+    cat "$tl_out" >&2
+    exit 1
+fi
+for counter in fast_burn_alerts_mittos alert_overlap_mittos flight_dumps; do
+    got="$(sed -n "s/^$counter=//p" "$tl_out")"
+    if [ -z "$got" ] || [ "$got" -eq 0 ]; then
+        echo "fig_timeline: no $counter recorded (got: '${got:-missing}')" >&2
+        exit 1
+    fi
+done
+if command -v jq >/dev/null 2>&1; then
+    jq -e '
+        .schema == "mitt-tsl/v1"
+        and (.timelines | length >= 1)
+        and (.timelines[0].windows | length >= 1)
+        and (.alerts | length >= 1)
+        and (.alerts | any(.kind == "fast_burn"))
+        and (.flight_recorder | length >= 1)
+        and (.bench.schema == "mitt-bench/v1")
+    ' "$tl_json" >/dev/null
+else
+    python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['schema'] == 'mitt-tsl/v1'
+assert len(d['timelines']) >= 1 and len(d['timelines'][0]['windows']) >= 1
+assert any(a['kind'] == 'fast_burn' for a in d['alerts'])
+assert len(d['flight_recorder']) >= 1
+assert d['bench']['schema'] == 'mitt-bench/v1'
+" "$tl_json"
+fi
+echo "   mitt-tsl/v1 export is well-formed, alerts overlap injected windows"
+if [ -f "$tl_baseline" ]; then
+    cargo run --quiet --release -p mitt-obs -- compare "$tl_baseline" "$tl_json"
+    echo "   embedded bench report matches $tl_baseline within thresholds"
+else
+    mkdir -p baselines
+    cp "$tl_bench" "$tl_baseline"
+    echo "   no baseline found; committed $tl_baseline (check it in)"
+fi
+
 echo "ok: all checks passed"

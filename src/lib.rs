@@ -15,5 +15,6 @@ pub use mitt_prof as prof;
 pub use mitt_sched as sched;
 pub use mitt_sim as sim;
 pub use mitt_trace as trace;
+pub use mitt_tsl as tsl;
 pub use mitt_workload as workload;
 pub use mittos as os;

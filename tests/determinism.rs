@@ -21,6 +21,7 @@ use mittos_repro::lsm::LsmConfig;
 use mittos_repro::obs::attribution::AttributionSummary;
 use mittos_repro::sim::digest::{double_run, Fnv1a};
 use mittos_repro::sim::{Duration, SimTime};
+use mittos_repro::tsl::TslConfig;
 use mittos_repro::workload::rotating_schedule;
 
 /// A contended three-replica cluster, small enough for a debug-build test.
@@ -117,6 +118,9 @@ fn fold_result(h: &mut Fnv1a, res: &ExperimentResult) {
     // The derived SLO-attribution summary is an observable output too: if
     // event order ever wobbles, the per-resource blame counts wobble with it.
     AttributionSummary::from_sink(&res.trace, mittos_repro::os::DEFAULT_HOP).fold_digest(h);
+    // The timeline state (windows, alerts, near-misses, flight dumps) is
+    // covered whenever mitt-tsl is enabled; a disabled sink folds a marker.
+    res.tsl.fold_digest(h);
 }
 
 #[test]
@@ -394,6 +398,79 @@ fn generated_chaos_run_same_seed_same_digest() {
         first, second,
         "generated chaos runs from seed 33 diverged: {first:#018x} vs {second:#018x}"
     );
+}
+
+#[test]
+fn tsl_run_same_seed_same_digest() {
+    // Timelines, burn-rate alerts, and flight dumps are all derived from
+    // the virtual clock: two tsl-enabled chaos runs from the same seed
+    // fold to identical digests (tsl state included via fold_result).
+    let (first, second) = double_run(|h| {
+        let mut cfg = chaos_config(34);
+        cfg.tsl = Some(TslConfig::default());
+        let res = run_experiment(cfg);
+        assert!(res.tsl.is_enabled(), "tsl sink must be wired through");
+        fold_result(h, &res);
+    });
+    assert_eq!(
+        first, second,
+        "tsl-enabled chaos runs from seed 34 diverged: {first:#018x} vs {second:#018x}"
+    );
+}
+
+#[test]
+fn tsl_is_trace_digest_neutral() {
+    // mitt-tsl observes decisions and completions that already happen; it
+    // may not consume RNG draws, schedule events, or perturb the trace.
+    // Fold everything *except* the tsl state itself: enabled vs disabled
+    // must agree byte-for-byte (trace-only observation stays identical).
+    let digest_of = |tsl: Option<TslConfig>| {
+        let mut h = Fnv1a::new();
+        let mut cfg = chaos_config(35);
+        cfg.tsl = tsl;
+        let res = run_experiment(cfg);
+        h.write_u64(res.ops);
+        h.write_u64(res.ebusy);
+        h.write_u64(res.finished_at.as_nanos());
+        h.write_u64_slice(res.get_latencies.samples());
+        res.trace.fold_digest(&mut h);
+        h.write_str(&res.trace.export_chrome_json());
+        h.finish()
+    };
+    assert_eq!(
+        digest_of(Some(TslConfig::default())),
+        digest_of(None),
+        "enabling mitt-tsl changed the run digest"
+    );
+}
+
+#[test]
+fn tsl_export_and_flight_dumps_are_byte_identical_across_runs() {
+    // The mitt-tsl/v1 export and every flight-recorder dump digest are
+    // part of the determinism contract: a seeded chaos plan replayed from
+    // scratch reproduces them byte-for-byte.
+    let run = || {
+        let mut cfg = chaos_config(36);
+        cfg.trace = true;
+        cfg.tsl = Some(TslConfig {
+            window: Duration::from_millis(20),
+            ..TslConfig::default()
+        });
+        run_experiment(cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.tsl.export_json(),
+        b.tsl.export_json(),
+        "same-seed mitt-tsl/v1 exports diverged"
+    );
+    let da = a.tsl.flight_dumps();
+    let db = b.tsl.flight_dumps();
+    assert_eq!(da.len(), db.len());
+    for (x, y) in da.iter().zip(&db) {
+        assert_eq!(x.digest(), y.digest(), "flight dump {} diverged", x.id);
+    }
 }
 
 #[test]

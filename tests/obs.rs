@@ -11,10 +11,12 @@ use mittos_repro::faults::{FaultKind, FaultPlan, FaultScope, ScopeLabel};
 use mittos_repro::obs::attribution::AttributionSummary;
 use mittos_repro::obs::calibration::{CalibrationConfig, CalibrationStream};
 use mittos_repro::obs::{
-    verify_attribution_invariants, BenchReport, CalibrationRow, CompareThresholds, StrategyRow,
+    chrome_export_with_timeline, verify_attribution_invariants, BenchReport, CalibrationRow,
+    CompareThresholds, StrategyRow,
 };
 use mittos_repro::sim::{Duration, SimTime};
 use mittos_repro::trace::{EventKind, Resource};
+use mittos_repro::tsl::TslConfig;
 use mittos_repro::workload::rotating_schedule;
 
 /// A contended traced MittOS cluster that generates plenty of rejections.
@@ -218,4 +220,85 @@ fn bench_report_round_trips_and_gates_regressions() {
         regressions.iter().any(|r| r.contains("inaccuracy")),
         "calibration regression not caught: {regressions:?}"
     );
+}
+
+/// The traced cluster with mitt-tsl timelines enabled on top.
+fn tsl_traced_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = faulted_traced_config(seed);
+    cfg.tsl = Some(TslConfig {
+        window: Duration::from_millis(50),
+        ..TslConfig::default()
+    });
+    cfg
+}
+
+#[test]
+fn tsl_export_embeds_a_comparable_bench_report() {
+    // The mitt-tsl/v1 export carries the run's mitt-bench/v1 report as a
+    // trailing "bench" section; `mitt-obs compare` must parse the wrapper
+    // (skipping the timeline sections it does not know) and gate against
+    // it exactly as if it were handed the bare report.
+    let mut res = run_experiment(tsl_traced_config(65));
+    assert!(res.tsl.is_enabled());
+    let mut report = BenchReport::new("obs-tsl", 65, 1);
+    report
+        .strategies
+        .push(StrategyRow::from_result("mittos", &mut res));
+    let bench_json = report.to_json();
+    let wrapped = res.tsl.export_json_with_bench(Some(&bench_json));
+
+    let parsed = BenchReport::parse(&wrapped).expect("parse embedded bench section");
+    assert_eq!(parsed.to_json(), bench_json, "embedded report mangled");
+    assert!(report
+        .compare(&parsed, CompareThresholds::default())
+        .is_empty());
+}
+
+#[test]
+fn tsl_export_has_the_v1_shape_and_populated_timelines() {
+    let res = run_experiment(tsl_traced_config(66));
+    let json = res.tsl.export_json();
+    assert!(json.starts_with("{\"schema\":\"mitt-tsl/v1\""), "{json}");
+    for section in [
+        "\"timelines\":[",
+        "\"alerts\":[",
+        "\"near_misses\":[",
+        "\"flight_recorder\":[",
+    ] {
+        assert!(json.contains(section), "missing {section}");
+    }
+    // The cluster row exists and saw every completed get.
+    let gets: u64 = {
+        let needle = "\"gets\":";
+        let mut total = 0;
+        let cluster = json
+            .find("\"node\":4294967295")
+            .expect("cluster timeline row");
+        let end = json[cluster..]
+            .find("]}")
+            .map_or(json.len(), |e| cluster + e);
+        let mut rest = &json[cluster..end];
+        while let Some(p) = rest.find(needle) {
+            rest = &rest[p + needle.len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            total += digits.parse::<u64>().unwrap_or(0);
+        }
+        total
+    };
+    assert_eq!(gets, res.ops, "cluster windows must cover every get");
+}
+
+#[test]
+fn chrome_export_merges_timeline_counter_tracks() {
+    let res = run_experiment(tsl_traced_config(67));
+    let json = chrome_export_with_timeline(&res.trace, &res.tsl);
+    assert!(json.contains("tsl.p99_us"), "p99 counter track missing");
+    assert!(
+        json.contains("tsl.burn_milli"),
+        "burn counter track missing"
+    );
+    // Merging is a pure function of the two sinks.
+    assert_eq!(json, chrome_export_with_timeline(&res.trace, &res.tsl));
+    // The plain export is untouched by the timeline merge.
+    assert!(!res.trace.export_chrome_json().contains("tsl."));
 }
